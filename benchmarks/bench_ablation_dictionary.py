@@ -1,0 +1,89 @@
+"""Ablations on Mokey's design choices (Section II discussion).
+
+Two ablations the paper's design rests on:
+
+1. **Dictionary size** — 16 entries (4-bit) is the paper's sweet spot: an
+   8-entry dictionary loses noticeably more fidelity, a 32-entry dictionary
+   buys little while costing an extra index bit everywhere.
+2. **Outlier handling** — dropping the separate outlier dictionary (clamping
+   outliers into the Gaussian range) hurts reconstruction badly, which is
+   why the paper pays for the second dictionary and pointer stream.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.golden_dictionary import generate_golden_dictionary
+from repro.core.quantizer import MokeyQuantizer
+from repro.core.tensor_dictionary import TensorDictionary
+
+
+def _weight_like(n=100_000, seed=5):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, 0.02, n)
+    outliers = int(0.015 * n)
+    values[rng.choice(n, outliers, replace=False)] = rng.choice([-1, 1], outliers) * 0.25
+    return values
+
+
+def _relative_error(values, reconstruction):
+    return float(np.abs(reconstruction - values).mean() / np.abs(values).mean())
+
+
+def _dictionary_size_sweep():
+    values = _weight_like()
+    results = {}
+    for entries in (8, 16, 32):
+        golden = generate_golden_dictionary(num_entries=entries, num_samples=20_000, num_repeats=2)
+        quantizer = MokeyQuantizer(golden)
+        quantized = quantizer.quantize(values, "w")
+        results[entries] = {
+            "bits": golden.bits_per_value,
+            "error": _relative_error(values, quantized.dequantize()),
+            "compression": quantized.compression_ratio(32),
+        }
+    return results
+
+
+def test_ablation_dictionary_size(benchmark):
+    results = benchmark.pedantic(_dictionary_size_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [entries, data["bits"], f"{data['error']:.4f}", f"{data['compression']:.2f}x"]
+        for entries, data in results.items()
+    ]
+    print("\nAblation — dictionary size (weight-like tensor)")
+    print(format_table(["entries", "bits/value", "relative error", "compression vs FP32"], rows))
+
+    # More entries -> lower error, but with diminishing returns beyond 16.
+    assert results[8]["error"] > results[16]["error"] > results[32]["error"]
+    gain_8_to_16 = results[8]["error"] - results[16]["error"]
+    gain_16_to_32 = results[16]["error"] - results[32]["error"]
+    assert gain_8_to_16 > gain_16_to_32
+    # The 16-entry point keeps the ~8x compression the paper reports.
+    assert results[16]["compression"] > results[32]["compression"]
+
+
+def test_ablation_outlier_dictionary(benchmark, golden):
+    values = _weight_like(seed=11)
+
+    def _run():
+        with_outliers = TensorDictionary.fit("w", golden, values=values)
+        without_outliers = TensorDictionary.fit(
+            "w-clamped", golden, values=values, max_outlier_entries=0
+        )
+        return (
+            _relative_error(values, with_outliers.quantize_dequantize(values)),
+            _relative_error(values, without_outliers.quantize_dequantize(values)),
+        )
+
+    error_with, error_without = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nAblation — outlier dictionary")
+    print(format_table(
+        ["configuration", "relative error"],
+        [["Gaussian + outlier dictionaries", f"{error_with:.4f}"],
+         ["Gaussian only (outliers clamped)", f"{error_without:.4f}"]],
+    ))
+
+    # Dropping outlier handling increases the reconstruction error.
+    assert error_without > error_with

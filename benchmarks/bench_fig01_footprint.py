@@ -1,0 +1,35 @@
+"""Figure 1: BERT-Large weight vs activation footprint over sequence length.
+
+Paper claim: for sequences beyond ~512 tokens, activations dominate the
+total memory footprint (motivating activation quantization).
+"""
+
+from repro.analysis.footprint import footprint_vs_sequence_length
+from repro.analysis.reporting import format_table
+
+SEQUENCE_LENGTHS = (128, 256, 512, 1024, 2048)
+
+
+def _compute():
+    return footprint_vs_sequence_length("bert-large", SEQUENCE_LENGTHS, bits_per_value=16)
+
+
+def test_fig01_activation_footprint_dominates_long_sequences(benchmark):
+    series = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = [
+        [point.label, f"{point.weight_mb:.0f}", f"{point.activation_mb:.0f}",
+         f"{100 * point.activation_share:.0f}%"]
+        for point in series
+    ]
+    print("\nFigure 1 — BERT-Large footprint (FP16), weights vs activations")
+    print(format_table(["config", "weights (MB)", "activations (MB)", "activation share"], rows))
+
+    by_seq = dict(zip(SEQUENCE_LENGTHS, series))
+    # Weights are constant; activations grow super-linearly with sequence length.
+    assert by_seq[2048].activation_mb > 10 * by_seq[256].activation_mb
+    # Paper shape: activations are the minority at 128 tokens and the clear
+    # majority beyond 512 tokens.
+    assert by_seq[128].activation_share < 0.5
+    assert by_seq[1024].activation_share > 0.5
+    assert by_seq[2048].activation_share > 0.6

@@ -1,0 +1,29 @@
+"""Figure 3: fitting the exponential curve a**int + b to the Golden Dictionary.
+
+Paper values: a = 1.179, b = -0.977 with fitting weights 2^7 .. 2^0.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.exponential_fit import fit_exponential
+
+PAPER_A = 1.179
+PAPER_B = -0.977
+
+
+def test_fig03_exponential_fit(benchmark, golden):
+    fit = benchmark.pedantic(lambda: fit_exponential(golden.half), rounds=3, iterations=1)
+
+    rows = [
+        [i, f"{golden.half[i]:.3f}", f"{fit.value(i):.3f}", f"{abs(golden.half[i] - fit.value(i)):.3f}"]
+        for i in range(golden.num_half_entries)
+    ]
+    print("\nFigure 3 — Exponential fit to the Golden Dictionary")
+    print(format_table(["int", "GD centroid", "a^int + b", "abs error"], rows))
+    print(f"measured: a = {fit.a:.3f}, b = {fit.b:.3f}   (paper: a = {PAPER_A}, b = {PAPER_B})")
+
+    # Paper ballpark (clustering backend differences move it slightly).
+    assert 1.10 < fit.a < 1.35
+    assert -1.25 < fit.b < -0.60
+    # The heavily weighted inner bins are fit tightly.
+    assert abs(fit.value(0) - golden.half[0]) < 0.1
+    assert fit.fit_error(golden.half) < 0.5

@@ -1,0 +1,44 @@
+"""Figure 5: the DRAM container (4-bit value stream + outlier pointer stream).
+
+Packs a realistic quantized tensor into the off-chip container, verifies
+losslessness, and reports the resulting footprint against FP16/FP32.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.memory.layout import pack_offchip, unpack_offchip
+
+
+def _build_encoded(mokey_quantizer, n=262_144):
+    rng = np.random.default_rng(3)
+    values = rng.normal(0, 0.02, n)
+    outliers = int(0.015 * n)
+    values[rng.choice(n, outliers, replace=False)] = rng.choice([-1, 1], outliers) * 0.3
+    return mokey_quantizer.quantize(values, "weights").encoded
+
+
+def test_fig05_offchip_container(benchmark, mokey_quantizer):
+    encoded = _build_encoded(mokey_quantizer)
+    container = benchmark.pedantic(lambda: pack_offchip(encoded), rounds=1, iterations=1)
+
+    restored = unpack_offchip(container)
+    num_values = container.num_values
+    rows = [
+        ["values", num_values],
+        ["value stream (KB)", f"{container.value_bits / 8 / 1024:.1f}"],
+        ["OT pointer stream (KB)", f"{container.pointer_bits / 8 / 1024:.1f}"],
+        ["total (KB)", f"{container.total_bits / 8 / 1024:.1f}"],
+        ["FP16 baseline (KB)", f"{num_values * 2 / 1024:.1f}"],
+        ["compression vs FP16", f"{container.compression_ratio(16):.2f}x"],
+        ["compression vs FP32", f"{container.compression_ratio(32):.2f}x"],
+    ]
+    print("\nFigure 5 — Mokey off-chip memory container")
+    print(format_table(["quantity", "value"], rows))
+
+    # Losslessness of the container.
+    assert np.array_equal(restored.is_outlier, encoded.is_outlier.ravel())
+    # ~4x compression against FP16 (4-bit values + small pointer stream).
+    assert 3.3 < container.compression_ratio(16) < 4.0
+    # Pointer stream is a small fraction of the value stream at ~1.5% outliers.
+    assert container.pointer_bits < 0.1 * container.value_bits

@@ -1,0 +1,50 @@
+"""Figure 8: effect of the profiling sample on accuracy.
+
+The paper profiles BERT-Base/MNLI 17 times with different random training
+samples and shows the post-quantization accuracy is essentially identical
+each time.  This benchmark repeats that experiment on the scaled
+BERT-Base functional twin: quantize with a different random profiling
+batch each trial and measure fidelity on a fixed held-out set.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.core.model_quantizer import QuantizationMode
+from repro.transformer.model_zoo import build_simulation_model
+from repro.transformer.tasks import evaluate, generate_inputs, label_with_model
+
+NUM_TRIALS = 17
+
+
+def _run_trials(model_quantizer):
+    model = build_simulation_model("bert-base", task="mnli", scale=12, max_layers=3, seed=0)
+    pool = label_with_model(
+        model,
+        generate_inputs(model.config.vocab_size, 32, 80, "classification", seed=100),
+    )
+    evaluation = pool.subset(np.arange(40, 80))
+
+    scores = []
+    for trial in range(NUM_TRIALS):
+        profiling = pool.subset(np.arange(trial * 2, trial * 2 + 8))
+        bundle = model_quantizer.quantize(
+            model,
+            mode=QuantizationMode.WEIGHTS_AND_ACTIVATIONS,
+            profiling_dataset=profiling,
+        )
+        scores.append(evaluate(bundle.model, evaluation, hook=bundle.activation_hook()))
+    return scores
+
+
+def test_fig08_profiling_has_negligible_effect_on_accuracy(benchmark, model_quantizer):
+    scores = benchmark.pedantic(lambda: _run_trials(model_quantizer), rounds=1, iterations=1)
+
+    print("\nFigure 8 — accuracy across profiling trials (BERT-Base-sim / MNLI-like)")
+    print(format_series("accuracy per trial", {i + 1: s for i, s in enumerate(scores)}, unit="%"))
+    print(f"spread: min={min(scores):.2f}%, max={max(scores):.2f}%, std={np.std(scores):.2f}%")
+
+    # Paper shape: the profiling sample barely matters.
+    assert max(scores) - min(scores) < 8.0
+    assert np.std(scores) < 3.0
+    assert min(scores) > 60.0

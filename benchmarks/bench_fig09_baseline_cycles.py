@@ -1,0 +1,49 @@
+"""Figure 9: baseline Tensor-Cores accelerator inference cycle counts.
+
+Reports the baseline's cycle counts for every model/task across the
+on-chip buffer sweep and checks the figure's qualitative content: larger
+buffers reduce execution time, and the long-sequence (SQuAD) and deeper
+(DeBERTa-XL) workloads are the most expensive.
+"""
+
+from conftest import BUFFER_SWEEP, KB
+
+from repro.analysis.reporting import format_table
+
+
+def _compute(simulators, workloads):
+    baseline = simulators["tensor-cores"]
+    return {
+        name: {size: baseline.simulate(wl, size) for size in BUFFER_SWEEP}
+        for name, wl in workloads.items()
+    }
+
+
+def test_fig09_baseline_cycle_counts(benchmark, simulators, workloads):
+    results = benchmark.pedantic(
+        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+    )
+
+    headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]
+    rows = []
+    for name, per_buffer in results.items():
+        rows.append([name] + [f"{per_buffer[s].total_cycles / 1e6:.0f}M" for s in BUFFER_SWEEP])
+    print("\nFigure 9 — Tensor-Cores baseline inference cycles")
+    print(format_table(headers, rows))
+
+    for name, per_buffer in results.items():
+        cycles = [per_buffer[size].total_cycles for size in BUFFER_SWEEP]
+        # Larger buffers never hurt, and help substantially overall.
+        assert all(a >= b - 1e-6 for a, b in zip(cycles, cycles[1:])), name
+        assert cycles[0] > 1.2 * cycles[-1], name
+
+    # SQuAD (seq 384) costs more than MNLI (seq 128) for the same model.
+    assert (
+        results["bert-large/squad/seq384"][256 * KB].total_cycles
+        > results["bert-large/mnli/seq128"][256 * KB].total_cycles
+    )
+    # DeBERTa-XL (48 layers) is the most expensive MNLI workload.
+    assert (
+        results["deberta-xl/mnli/seq128"][256 * KB].total_cycles
+        > results["roberta-large/mnli/seq128"][256 * KB].total_cycles
+    )

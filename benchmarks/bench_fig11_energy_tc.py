@@ -1,0 +1,44 @@
+"""Figure 11: Mokey energy efficiency over the Tensor-Cores baseline.
+
+Paper claim: 78x at 256KB buffers down to 13x at 4MB.  Our baseline's
+dataflow moves far less DRAM data than the paper's (see EXPERIMENTS.md),
+so the measured factors are smaller; the shape — Mokey always more
+efficient, the advantage decreasing with buffer size — is asserted.
+"""
+
+from conftest import BUFFER_SWEEP, KB, geomean
+
+from repro.analysis.reporting import format_table
+
+
+def _compute(simulators, workloads):
+    efficiency = {}
+    for name, wl in workloads.items():
+        efficiency[name] = {}
+        for size in BUFFER_SWEEP:
+            base = simulators["tensor-cores"].simulate(wl, size)
+            mokey = simulators["mokey"].simulate(wl, size)
+            efficiency[name][size] = mokey.energy_efficiency_over(base)
+    return efficiency
+
+
+def test_fig11_mokey_energy_efficiency_over_tensor_cores(benchmark, simulators, workloads):
+    efficiency = benchmark.pedantic(
+        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+    )
+
+    headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]
+    rows = [
+        [name] + [f"{per_buffer[s]:.2f}x" for s in BUFFER_SWEEP]
+        for name, per_buffer in efficiency.items()
+    ]
+    means = {s: geomean(per[s] for per in efficiency.values()) for s in BUFFER_SWEEP}
+    rows.append(["GEOMEAN"] + [f"{means[s]:.2f}x" for s in BUFFER_SWEEP])
+    print("\nFigure 11 — Mokey energy efficiency over Tensor Cores (paper: 78x .. 13x)")
+    print(format_table(headers, rows))
+
+    for name, per_buffer in efficiency.items():
+        for size, value in per_buffer.items():
+            assert value > 1.5, (name, size)
+    assert means[BUFFER_SWEEP[0]] >= means[BUFFER_SWEEP[-1]]
+    assert means[BUFFER_SWEEP[0]] > 2.5

@@ -1,0 +1,49 @@
+"""Figure 12: Mokey accelerator speedup over the GOBO accelerator.
+
+Paper claim: Mokey is faster than GOBO everywhere; the gap is widest for
+long-sequence (activation-heavy) workloads and small buffers, because GOBO
+keeps activations in FP16.
+"""
+
+from conftest import BUFFER_SWEEP, KB, geomean
+
+from repro.analysis.reporting import format_table
+
+
+def _compute(simulators, workloads):
+    speedups = {}
+    for name, wl in workloads.items():
+        speedups[name] = {}
+        for size in BUFFER_SWEEP:
+            gobo = simulators["gobo"].simulate(wl, size)
+            mokey = simulators["mokey"].simulate(wl, size)
+            speedups[name][size] = mokey.speedup_over(gobo)
+    return speedups
+
+
+def test_fig12_mokey_speedup_over_gobo(benchmark, simulators, workloads):
+    speedups = benchmark.pedantic(
+        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+    )
+
+    headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]
+    rows = [
+        [name] + [f"{per_buffer[s]:.2f}x" for s in BUFFER_SWEEP]
+        for name, per_buffer in speedups.items()
+    ]
+    means = {s: geomean(per[s] for per in speedups.values()) for s in BUFFER_SWEEP}
+    rows.append(["GEOMEAN"] + [f"{means[s]:.2f}x" for s in BUFFER_SWEEP])
+    print("\nFigure 12 — Mokey speedup over the GOBO accelerator")
+    print(format_table(headers, rows))
+
+    # Mokey is at least as fast as GOBO for every configuration.
+    for name, per_buffer in speedups.items():
+        for size, value in per_buffer.items():
+            assert value >= 0.95, (name, size)
+    # On average Mokey is clearly ahead, most at small buffers.
+    assert means[BUFFER_SWEEP[0]] > 1.3
+    assert means[BUFFER_SWEEP[0]] >= means[BUFFER_SWEEP[-1]]
+    # SQuAD (long sequences) benefits at least as much as MNLI.
+    squad = speedups["bert-large/squad/seq384"][256 * KB]
+    mnli = speedups["bert-large/mnli/seq128"][256 * KB]
+    assert squad >= 0.9 * mnli

@@ -1,0 +1,44 @@
+"""Figure 13: Mokey energy efficiency over the GOBO accelerator.
+
+Paper claim: ~9x with small buffers, ~2x even with 4MB buffers, because
+Mokey's fixed-point PEs replace GOBO's FP16 PEs and activations shrink 4x.
+"""
+
+from conftest import BUFFER_SWEEP, KB, geomean
+
+from repro.analysis.reporting import format_table
+
+
+def _compute(simulators, workloads):
+    efficiency = {}
+    for name, wl in workloads.items():
+        efficiency[name] = {}
+        for size in BUFFER_SWEEP:
+            gobo = simulators["gobo"].simulate(wl, size)
+            mokey = simulators["mokey"].simulate(wl, size)
+            efficiency[name][size] = mokey.energy_efficiency_over(gobo)
+    return efficiency
+
+
+def test_fig13_mokey_energy_efficiency_over_gobo(benchmark, simulators, workloads):
+    efficiency = benchmark.pedantic(
+        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+    )
+
+    headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]
+    rows = [
+        [name] + [f"{per_buffer[s]:.2f}x" for s in BUFFER_SWEEP]
+        for name, per_buffer in efficiency.items()
+    ]
+    means = {s: geomean(per[s] for per in efficiency.values()) for s in BUFFER_SWEEP}
+    rows.append(["GEOMEAN"] + [f"{means[s]:.2f}x" for s in BUFFER_SWEEP])
+    print("\nFigure 13 — Mokey energy efficiency over GOBO (paper: ~9x .. ~2x)")
+    print(format_table(headers, rows))
+
+    # Mokey is more energy efficient than GOBO everywhere, and stays at or
+    # above ~2x even with the largest buffers (the paper's floor).
+    for name, per_buffer in efficiency.items():
+        for size, value in per_buffer.items():
+            assert value > 1.2, (name, size)
+    assert means[BUFFER_SWEEP[-1]] > 1.8
+    assert means[BUFFER_SWEEP[0]] >= means[BUFFER_SWEEP[-1]] * 0.9

@@ -1,0 +1,58 @@
+"""Figure 14: Tensor-Cores speedup with Mokey used as memory compression only.
+
+Two deployments: off-chip compression only (OC) and off-chip + on-chip
+(OC+ON).  Paper claim: OC averages ~3.9x (256KB) to ~4.3x (4MB); OC+ON
+adds the most on top of OC when buffers are small.
+"""
+
+from conftest import BUFFER_SWEEP, KB, geomean
+
+from repro.accelerator.compression_modes import CompressionMode, tensor_cores_with_mokey_compression
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.analysis.reporting import format_table
+
+MODES = (CompressionMode.OFF_CHIP, CompressionMode.OFF_CHIP_AND_ON_CHIP)
+
+
+def _compute(simulators, workloads):
+    sims = {
+        mode: AcceleratorSimulator(tensor_cores_with_mokey_compression(mode)) for mode in MODES
+    }
+    results = {mode: {} for mode in MODES}
+    for name, wl in workloads.items():
+        for size in BUFFER_SWEEP:
+            base = simulators["tensor-cores"].simulate(wl, size)
+            for mode in MODES:
+                results[mode].setdefault(name, {})[size] = (
+                    sims[mode].simulate(wl, size).speedup_over(base)
+                )
+    return results
+
+
+def test_fig14_memory_compression_speedup(benchmark, simulators, workloads):
+    results = benchmark.pedantic(
+        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+    )
+
+    for mode in MODES:
+        headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]
+        rows = [
+            [name] + [f"{per[s]:.2f}x" for s in BUFFER_SWEEP]
+            for name, per in results[mode].items()
+        ]
+        means = {s: geomean(per[s] for per in results[mode].values()) for s in BUFFER_SWEEP}
+        rows.append(["GEOMEAN"] + [f"{means[s]:.2f}x" for s in BUFFER_SWEEP])
+        print(f"\nFigure 14 ({mode.value.upper()}) — Tensor Cores speedup with Mokey compression")
+        print(format_table(headers, rows))
+
+    oc = results[CompressionMode.OFF_CHIP]
+    ocon = results[CompressionMode.OFF_CHIP_AND_ON_CHIP]
+    # Compression never hurts and gives a clear average gain.
+    for per in oc.values():
+        assert all(v > 1.0 for v in per.values())
+    assert geomean(per[256 * KB] for per in oc.values()) > 1.5
+    # On-chip compression adds the most on top of OC at the smallest buffers.
+    small_gain = geomean(ocon[n][256 * KB] / oc[n][256 * KB] for n in oc)
+    large_gain = geomean(ocon[n][BUFFER_SWEEP[-1]] / oc[n][BUFFER_SWEEP[-1]] for n in oc)
+    assert small_gain >= large_gain
+    assert small_gain > 1.05

@@ -1,0 +1,50 @@
+"""Table II: area, cycle count and energy for BERT-Base with 512KB buffers.
+
+Compares the three accelerators on BERT-Base/MNLI at the 512KB buffer
+point.  Paper values: Tensor Cores 16.1mm^2 / 167M / 0.36J, GOBO
+15.9mm^2 / 52M / 0.17J, Mokey 14.8mm^2 / 29M / 0.09J.
+"""
+
+from conftest import KB
+
+from repro.accelerator.workloads import model_workload
+from repro.analysis.reporting import format_table
+
+PAPER = {
+    "tensor-cores": (16.1, 167e6, 0.36),
+    "gobo": (15.9, 52e6, 0.17),
+    "mokey": (14.8, 29e6, 0.09),
+}
+BUFFER = 512 * KB
+
+
+def _compute(simulators):
+    workload = model_workload("bert-base", "mnli")
+    return {name: sim.simulate(workload, BUFFER) for name, sim in simulators.items()}
+
+
+def test_table2_bert_base_summary(benchmark, simulators):
+    results = benchmark.pedantic(lambda: _compute(simulators), rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        paper_area, paper_cycles, paper_energy = PAPER[name]
+        rows.append([
+            name,
+            f"{result.area.compute:.1f} ({paper_area})",
+            f"{result.total_cycles / 1e6:.1f}M ({paper_cycles / 1e6:.0f}M)",
+            f"{result.energy.total:.3f}J ({paper_energy}J)",
+        ])
+    print("\nTable II — BERT-Base @ 512KB: measured (paper)")
+    print(format_table(["architecture", "compute area mm^2", "cycles", "energy"], rows))
+
+    tc, gobo, mokey = results["tensor-cores"], results["gobo"], results["mokey"]
+    # Compute areas are calibrated to the paper's values.
+    for name, result in results.items():
+        assert abs(result.area.compute - PAPER[name][0]) < 0.3, name
+    # Orderings of Table II hold: TC slowest and most energy hungry, Mokey best.
+    assert tc.total_cycles > gobo.total_cycles > mokey.total_cycles
+    assert tc.energy.total > gobo.energy.total > mokey.energy.total
+    # Rough factors: Mokey several times faster and >2.5x more efficient than TC.
+    assert tc.total_cycles / mokey.total_cycles > 3.0
+    assert tc.energy.total / mokey.energy.total > 2.5

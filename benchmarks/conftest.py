@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section: it computes the measured series/rows with this reproduction's
+models, prints them next to the paper's reported values where applicable,
+and asserts the qualitative shape (orderings, trends, crossovers) that the
+paper's conclusion rests on.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute cycle counts, energies and task scores are not expected to match
+the paper (synthetic models and analytical hardware models — see DESIGN.md
+and EXPERIMENTS.md); the shapes are.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.accelerator.gobo_accel import gobo_design
+from repro.accelerator.mokey_accel import mokey_design
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.tensor_cores import tensor_cores_design
+from repro.accelerator.workloads import paper_workloads
+from repro.core.golden_dictionary import generate_golden_dictionary
+from repro.core.model_quantizer import MokeyModelQuantizer
+from repro.core.quantizer import MokeyQuantizer
+
+KB = 1024
+MB = 1024 * 1024
+# The buffer-capacity sweep of Figures 9-15.
+BUFFER_SWEEP = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """The full Golden Dictionary (50,000 samples, paper Step 1)."""
+    return generate_golden_dictionary()
+
+
+@pytest.fixture(scope="session")
+def mokey_quantizer(golden):
+    return MokeyQuantizer(golden)
+
+
+@pytest.fixture(scope="session")
+def model_quantizer(golden):
+    return MokeyModelQuantizer(golden)
+
+
+@pytest.fixture(scope="session")
+def simulators():
+    """Simulators for the three accelerator designs."""
+    return {
+        "tensor-cores": AcceleratorSimulator(tensor_cores_design()),
+        "gobo": AcceleratorSimulator(gobo_design()),
+        "mokey": AcceleratorSimulator(mokey_design()),
+    }
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """The eight model/task workloads of the paper's evaluation."""
+    return {wl.name: wl for wl in paper_workloads()}
+
+
+def geomean(values) -> float:
+    values = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.log(values).mean()))

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+Offline environments may lack the ``wheel`` package needed for editable
+installs; adding ``src`` to ``sys.path`` keeps the test and benchmark
+suites runnable either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,75 @@
+"""Simulate the Mokey accelerator against Tensor Cores and GOBO (Fig. 9-13 flow).
+
+Sweeps the on-chip buffer capacity for a chosen model/task workload and
+prints cycle counts, speedups, energy breakdowns and chip areas for the
+three accelerator designs the paper evaluates.
+
+Run with::
+
+    python examples/accelerator_simulation.py [model] [task]
+
+e.g. ``python examples/accelerator_simulation.py bert-large squad``.
+"""
+
+import sys
+
+from repro.accelerator.gobo_accel import gobo_design
+from repro.accelerator.mokey_accel import mokey_design
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.tensor_cores import tensor_cores_design
+from repro.accelerator.workloads import model_workload
+from repro.analysis.reporting import format_table
+
+KB = 1024
+MB = 1024 * 1024
+BUFFERS = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+
+
+def main(model_name: str = "bert-large", task: str = "squad") -> None:
+    workload = model_workload(model_name, task)
+    print(f"workload: {workload.name} — {workload.total_macs / 1e9:.1f} GMACs, "
+          f"{workload.num_layers} encoder layers")
+
+    simulators = {
+        "tensor-cores": AcceleratorSimulator(tensor_cores_design()),
+        "gobo": AcceleratorSimulator(gobo_design()),
+        "mokey": AcceleratorSimulator(mokey_design()),
+    }
+
+    rows = []
+    for size in BUFFERS:
+        results = {name: sim.simulate(workload, size) for name, sim in simulators.items()}
+        tc, gobo, mokey = results["tensor-cores"], results["gobo"], results["mokey"]
+        rows.append([
+            f"{size // KB}KB",
+            f"{tc.total_cycles / 1e6:.0f}M",
+            f"{gobo.total_cycles / 1e6:.0f}M",
+            f"{mokey.total_cycles / 1e6:.0f}M",
+            f"{mokey.speedup_over(tc):.2f}x",
+            f"{mokey.speedup_over(gobo):.2f}x",
+            f"{mokey.energy_efficiency_over(tc):.2f}x",
+            f"{tc.energy.total:.2f}J",
+            f"{mokey.energy.total:.2f}J",
+        ])
+    print(format_table(
+        ["buffer", "TC cycles", "GOBO cycles", "Mokey cycles",
+         "speedup vs TC", "vs GOBO", "energy eff vs TC", "TC energy", "Mokey energy"],
+        rows,
+    ))
+
+    # Area story at the 512KB point (Table II / III flavour).
+    results = {name: sim.simulate(workload, 512 * KB) for name, sim in simulators.items()}
+    area_rows = [
+        [name, f"{r.area.compute:.1f}", f"{r.area.buffer:.1f}", f"{r.area.total:.1f}",
+         f"{100 * r.overlap_fraction:.0f}%"]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["design", "compute mm^2", "buffer mm^2", "total mm^2", "compute/memory overlap"],
+        area_rows,
+    ))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

@@ -1,0 +1,17 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work
+in offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

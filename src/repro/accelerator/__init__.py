@@ -1,0 +1,44 @@
+"""Accelerator models: Tensor-Cores baseline, GOBO and Mokey.
+
+The paper evaluates a spatial FP16 Tensor-Cores-style accelerator, the
+GOBO accelerator and the Mokey accelerator with a cycle-accurate simulator
+plus DRAMsim3/CACTI/post-layout numbers.  This subpackage provides the
+equivalent analytical/event-level models: per-design compute and datapath
+parameters (:mod:`designs`), a layer-by-layer dataflow and traffic model
+(:mod:`dataflow`), and an end-to-end simulator (:mod:`simulator`) that
+produces cycle counts, energy breakdowns and area numbers for any
+model/sequence-length/buffer-size combination, including Mokey's
+memory-compression-only deployment modes (:mod:`compression_modes`).
+"""
+
+from repro.accelerator.metrics import AreaBreakdown, EnergyBreakdown, SimulationResult
+from repro.accelerator.energy import OperationEnergies, DEFAULT_ENERGIES
+from repro.accelerator.workloads import GemmShape, Workload, model_workload, encoder_gemms
+from repro.accelerator.tensor_cores import tensor_cores_design
+from repro.accelerator.gobo_accel import gobo_design
+from repro.accelerator.mokey_accel import mokey_design
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.compression_modes import (
+    tensor_cores_with_mokey_compression,
+    CompressionMode,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "EnergyBreakdown",
+    "SimulationResult",
+    "OperationEnergies",
+    "DEFAULT_ENERGIES",
+    "GemmShape",
+    "Workload",
+    "model_workload",
+    "encoder_gemms",
+    "AcceleratorDesign",
+    "tensor_cores_design",
+    "gobo_design",
+    "mokey_design",
+    "AcceleratorSimulator",
+    "tensor_cores_with_mokey_compression",
+    "CompressionMode",
+]

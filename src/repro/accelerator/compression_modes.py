@@ -1,0 +1,66 @@
+"""Mokey as a memory-compression assist for the Tensor-Cores baseline.
+
+Section IV-D evaluates two deployments in which the compute units remain
+FP16 Tensor Cores and Mokey only compresses storage:
+
+* **OC (off-chip only)** — values travel over the DRAM bus as 4-bit Mokey
+  indexes and are expanded to FP16 by the decompression engine as they
+  enter the chip; the on-chip buffer still holds FP16 values.
+* **OC+ON (off-chip and on-chip)** — the on-chip buffer holds the 5-bit
+  encoding too and values are expanded through lookup tables only as the
+  compute units request them, which multiplies the effective buffer
+  capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.mokey_accel import MOKEY_OFFCHIP_BITS, MOKEY_ONCHIP_BITS
+from repro.accelerator.tensor_cores import tensor_cores_design
+
+__all__ = ["CompressionMode", "tensor_cores_with_mokey_compression"]
+
+
+class CompressionMode(enum.Enum):
+    """Memory-compression deployment modes of Section IV-D."""
+
+    NONE = "none"
+    OFF_CHIP = "oc"
+    OFF_CHIP_AND_ON_CHIP = "oc+on"
+
+
+def tensor_cores_with_mokey_compression(
+    mode: CompressionMode, num_units: int = 2048
+) -> AcceleratorDesign:
+    """A Tensor-Cores design augmented with Mokey memory compression.
+
+    Args:
+        mode: Which levels of the memory hierarchy hold compressed values.
+        num_units: Number of FP16 MAC units (same as the plain baseline).
+    """
+    base = tensor_cores_design(num_units)
+    if mode is CompressionMode.NONE:
+        return base
+    if mode is CompressionMode.OFF_CHIP:
+        return base.with_buffer_bits(
+            name="tensor-cores+mokey-oc",
+            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
+            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
+            weight_bits_onchip=16.0,
+            activation_bits_onchip=16.0,
+            decompression_lut=True,
+        )
+    if mode is CompressionMode.OFF_CHIP_AND_ON_CHIP:
+        return base.with_buffer_bits(
+            name="tensor-cores+mokey-oc+on",
+            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
+            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
+            weight_bits_onchip=MOKEY_ONCHIP_BITS,
+            activation_bits_onchip=MOKEY_ONCHIP_BITS,
+            buffer_interface_bits=5,
+            decompression_lut=True,
+        )
+    raise ValueError(f"unsupported compression mode: {mode}")

@@ -1,0 +1,100 @@
+"""Counter Register File (CRF) behavioural model (paper Fig. 6, right).
+
+Each Gaussian PE contains four individually sized CRFs that accumulate the
+SoI (15 x 8b), SoA1 (8 x 8b), SoW1 (8 x 8b) and PoM1 (1 x 8b) summations.
+A CRF line can be incremented or decremented each cycle (selected by the
+product sign) and is scanned serially during post-processing.
+
+The model is bit-accurate with respect to width: counters saturate at the
+signed range of their width, and the ``drained`` flag mirrors the
+post-processing scan.  The accelerator-level simulator uses statistical
+counts instead, but the tests use this model to check that 8-bit counters
+are wide enough for the tile sizes the design processes between drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["CounterRegisterFile", "GpeCounterSet"]
+
+
+@dataclass
+class CounterRegisterFile:
+    """A small file of up/down counters.
+
+    Attributes:
+        num_entries: Number of counter lines.
+        width_bits: Width of each counter (8 in the paper).
+    """
+
+    num_entries: int
+    width_bits: int = 8
+    counters: np.ndarray = field(init=False)
+    saturations: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.counters = np.zeros(self.num_entries, dtype=np.int64)
+
+    @property
+    def max_value(self) -> int:
+        return 2 ** (self.width_bits - 1) - 1
+
+    @property
+    def min_value(self) -> int:
+        return -(2 ** (self.width_bits - 1))
+
+    def update(self, address: int, up: bool) -> None:
+        """Increment (up) or decrement one counter line, with saturation."""
+        if not 0 <= address < self.num_entries:
+            raise IndexError(f"CRF address {address} out of range")
+        delta = 1 if up else -1
+        value = int(self.counters[address]) + delta
+        if value > self.max_value or value < self.min_value:
+            self.saturations += 1
+            value = max(self.min_value, min(self.max_value, value))
+        self.counters[address] = value
+
+    def drain(self) -> np.ndarray:
+        """Read out all counters and reset them (post-processing scan)."""
+        values = self.counters.copy()
+        self.counters[:] = 0
+        return values
+
+
+@dataclass
+class GpeCounterSet:
+    """The four CRFs of one Gaussian PE."""
+
+    num_half_entries: int = 8
+    width_bits: int = 8
+    soi: CounterRegisterFile = field(init=False)
+    soa1: CounterRegisterFile = field(init=False)
+    sow1: CounterRegisterFile = field(init=False)
+    pom1: CounterRegisterFile = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.soi = CounterRegisterFile(2 * self.num_half_entries - 1, self.width_bits)
+        self.soa1 = CounterRegisterFile(self.num_half_entries, self.width_bits)
+        self.sow1 = CounterRegisterFile(self.num_half_entries, self.width_bits)
+        self.pom1 = CounterRegisterFile(1, self.width_bits)
+
+    def process_pair(self, act_index: int, act_sign: int, weight_index: int, weight_sign: int) -> None:
+        """Process one Gaussian activation/weight pair (one GPE cycle)."""
+        up = (act_sign >= 0) == (weight_sign >= 0)
+        self.soi.update(act_index + weight_index, up)
+        self.soa1.update(act_index, up)
+        self.sow1.update(weight_index, up)
+        self.pom1.update(0, up)
+
+    @property
+    def total_saturations(self) -> int:
+        return (
+            self.soi.saturations
+            + self.soa1.saturations
+            + self.sow1.saturations
+            + self.pom1.saturations
+        )

@@ -1,0 +1,172 @@
+"""Dataflow and off-chip traffic model.
+
+The simulator executes a model layer by layer.  For every GEMM it decides
+how much off-chip traffic the chosen tiling incurs, given the on-chip
+buffer capacity and the per-value storage widths of the design:
+
+* weight matrices always stream from DRAM at least once per inference pass
+  (model weights are far larger than any on-chip buffer);
+* if the GEMM's input activations do not fit in the activation share of
+  the buffer *and* the weights do not fit in the weight share either, the
+  weights must be re-streamed once per activation tile (the classic tiled
+  GEMM re-fetch penalty) — this is the effect that quantization attacks by
+  shrinking both streams and boosting effective buffer capacity;
+* activation tensors travel to/from DRAM only when the layer's activation
+  working set exceeds the activation share of the buffer.
+
+The dataflow is chosen per GEMM to minimise traffic (the paper notes "the
+dataflow for all designs is optimized to minimize the number of off-chip
+transactions").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.workloads import GemmShape, Workload
+
+__all__ = ["GemmTraffic", "LayerTraffic", "plan_layer", "activation_working_set_bits"]
+
+
+@dataclass
+class GemmTraffic:
+    """Off-chip traffic of one GEMM under a particular buffer configuration.
+
+    Attributes:
+        gemm: The GEMM this traffic belongs to.
+        weight_bytes: Weight bytes streamed from DRAM (including re-fetches).
+        activation_read_bytes: Activation bytes read from DRAM.
+        activation_write_bytes: Activation bytes written to DRAM.
+        weight_refetches: How many times the weight matrix is streamed.
+    """
+
+    gemm: GemmShape
+    weight_bytes: float
+    activation_read_bytes: float
+    activation_write_bytes: float
+    weight_refetches: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.activation_read_bytes + self.activation_write_bytes
+
+
+@dataclass
+class LayerTraffic:
+    """Traffic of one encoder layer (all its GEMMs)."""
+
+    gemms: List[GemmTraffic]
+    activations_resident: bool
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(g.total_bytes for g in self.gemms)
+
+    @property
+    def weight_bytes(self) -> float:
+        return sum(g.weight_bytes for g in self.gemms)
+
+    @property
+    def activation_bytes(self) -> float:
+        return sum(g.activation_read_bytes + g.activation_write_bytes for g in self.gemms)
+
+
+def activation_working_set_bits(workload: Workload, bits_per_value: float) -> float:
+    """On-chip bits needed to keep one layer's activations resident.
+
+    The working set is the largest simultaneous producer/consumer pair of
+    tensors within the layer (input + output of the widest GEMM), which is
+    what a layer-serial dataflow has to hold to avoid spilling.
+    """
+    largest = 0.0
+    for gemm in workload.layer_gemms:
+        need = (gemm.input_values + gemm.output_values) * bits_per_value
+        largest = max(largest, need)
+    return largest
+
+
+def plan_layer(
+    workload: Workload,
+    design: AcceleratorDesign,
+    buffer_bytes: int,
+    activation_buffer_fraction: float = 0.5,
+) -> LayerTraffic:
+    """Compute the off-chip traffic of one encoder layer.
+
+    Args:
+        workload: The model workload (provides the layer's GEMM list).
+        design: Accelerator design (provides per-value bit widths).
+        buffer_bytes: Total on-chip buffer capacity.
+        activation_buffer_fraction: Fraction of the buffer reserved for
+            activations; the rest holds weight tiles.
+    """
+    buffer_bits = buffer_bytes * 8
+    act_share_bits = buffer_bits * activation_buffer_fraction
+    weight_share_bits = buffer_bits - act_share_bits
+
+    working_set_bits = activation_working_set_bits(workload, design.activation_bits_onchip)
+    activations_resident = working_set_bits <= act_share_bits
+
+    gemms: List[GemmTraffic] = []
+    for gemm in workload.layer_gemms:
+        weight_bits_on = gemm.weight_values * design.weight_bits_onchip
+        # The activation share must hold the GEMM's input tile and its output
+        # tile simultaneously (producer/consumer double buffering).
+        input_bits_on = (gemm.input_values + gemm.output_values) * design.activation_bits_onchip
+
+        if gemm.weight_static:
+            weight_fits = weight_bits_on <= weight_share_bits
+            input_fits = input_bits_on <= act_share_bits
+            if weight_fits or input_fits:
+                refetches = 1
+            else:
+                # Neither operand fits: tile the activations and re-stream the
+                # weights once per activation tile (or vice versa, whichever
+                # is cheaper).
+                activation_tiles = math.ceil(input_bits_on / act_share_bits)
+                weight_tiles = math.ceil(weight_bits_on / weight_share_bits)
+                weight_refetch_traffic = activation_tiles * gemm.weight_values * design.weight_bits_offchip
+                act_refetch_traffic = weight_tiles * gemm.input_values * design.activation_bits_offchip
+                if weight_refetch_traffic <= act_refetch_traffic:
+                    refetches = activation_tiles
+                else:
+                    refetches = 1  # weights stream once, activations re-read instead
+            weight_bytes = gemm.weight_values * design.weight_bits_offchip / 8 * refetches
+        else:
+            refetches = 1
+            weight_bytes = 0.0
+
+        if activations_resident:
+            activation_read = 0.0
+            activation_write = 0.0
+        else:
+            read_factor = 1.0
+            if gemm.weight_static and refetches == 1:
+                # If weights were kept resident while activations stream, the
+                # activations may need to be re-read per weight tile.
+                weight_tiles = math.ceil(
+                    max(1.0, gemm.weight_values * design.weight_bits_onchip / max(weight_share_bits, 1.0))
+                )
+                input_fits = input_bits_on <= act_share_bits
+                if not input_fits and weight_tiles > 1:
+                    read_factor = weight_tiles
+            activation_read = gemm.input_values * design.activation_bits_offchip / 8 * read_factor
+            if not gemm.weight_static:
+                # Both operands are activations (attention score/context GEMMs).
+                activation_read += gemm.weight_values * design.activation_bits_offchip / 8
+            activation_write = gemm.output_values * design.activation_bits_offchip / 8
+
+        gemms.append(
+            GemmTraffic(
+                gemm=gemm,
+                weight_bytes=weight_bytes,
+                activation_read_bytes=activation_read,
+                activation_write_bytes=activation_write,
+                weight_refetches=refetches,
+            )
+        )
+
+    return LayerTraffic(gemms=gemms, activations_resident=activations_resident)

@@ -1,0 +1,103 @@
+"""Accelerator design descriptors.
+
+An :class:`AcceleratorDesign` captures everything the simulator needs to
+know about a design: how many processing elements it has and what they
+cost, which datapath family they implement, and how many bits weights and
+activations occupy off-chip and on-chip (which is where quantization and
+the memory-compression modes enter the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.accelerator.energy import DEFAULT_AREAS, DEFAULT_ENERGIES, OperationEnergies
+
+__all__ = ["AcceleratorDesign"]
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """Parameters of one accelerator design point.
+
+    Attributes:
+        name: Design label used in reports.
+        datapath: One of ``"fp16"`` (Tensor Cores), ``"gobo"`` or ``"mokey"``.
+        num_units: Number of processing elements (MAC units or GPEs).
+        unit_area_mm2: Area per processing element.
+        weight_bits_offchip: Bits per weight value in DRAM.
+        activation_bits_offchip: Bits per activation value in DRAM.
+        weight_bits_onchip: Bits per weight value in the on-chip buffer.
+        activation_bits_onchip: Bits per activation value in the on-chip buffer.
+        buffer_interface_bits: Value width at the buffer interface (drives
+            buffer area).
+        gpes_per_opp: Mokey only — GPEs sharing one outlier/post-processing
+            unit.
+        weight_outlier_fraction: Expected fraction of outlier-encoded weights.
+        activation_outlier_fraction: Same for activations.
+        decompression_lut: Whether values must pass through a lookup table
+            when read into the datapath (GOBO weights, compression modes).
+        energies: Per-operation energy constants.
+        clock_hz: Operating frequency.
+    """
+
+    name: str
+    datapath: str
+    num_units: int
+    unit_area_mm2: float
+    weight_bits_offchip: float = 16.0
+    activation_bits_offchip: float = 16.0
+    weight_bits_onchip: float = 16.0
+    activation_bits_onchip: float = 16.0
+    buffer_interface_bits: int = 16
+    gpes_per_opp: int = 8
+    weight_outlier_fraction: float = 0.015
+    activation_outlier_fraction: float = 0.045
+    decompression_lut: bool = False
+    energies: OperationEnergies = field(default_factory=lambda: DEFAULT_ENERGIES)
+    clock_hz: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.datapath not in ("fp16", "gobo", "mokey"):
+            raise ValueError(f"unknown datapath {self.datapath!r}")
+        if self.num_units <= 0:
+            raise ValueError("num_units must be positive")
+
+    @property
+    def compute_area_mm2(self) -> float:
+        """Total processing-element array area."""
+        return self.num_units * self.unit_area_mm2
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        """Peak multiply-accumulate (or pair-processing) throughput."""
+        return float(self.num_units)
+
+    def with_buffer_bits(
+        self,
+        weight_bits_offchip: Optional[float] = None,
+        activation_bits_offchip: Optional[float] = None,
+        weight_bits_onchip: Optional[float] = None,
+        activation_bits_onchip: Optional[float] = None,
+        name: Optional[str] = None,
+        decompression_lut: Optional[bool] = None,
+        buffer_interface_bits: Optional[int] = None,
+    ) -> "AcceleratorDesign":
+        """Return a variant with different storage precisions (compression modes)."""
+        updates = {}
+        if weight_bits_offchip is not None:
+            updates["weight_bits_offchip"] = weight_bits_offchip
+        if activation_bits_offchip is not None:
+            updates["activation_bits_offchip"] = activation_bits_offchip
+        if weight_bits_onchip is not None:
+            updates["weight_bits_onchip"] = weight_bits_onchip
+        if activation_bits_onchip is not None:
+            updates["activation_bits_onchip"] = activation_bits_onchip
+        if name is not None:
+            updates["name"] = name
+        if decompression_lut is not None:
+            updates["decompression_lut"] = decompression_lut
+        if buffer_interface_bits is not None:
+            updates["buffer_interface_bits"] = buffer_interface_bits
+        return replace(self, **updates)

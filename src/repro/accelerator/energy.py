@@ -1,0 +1,63 @@
+"""Per-operation energy and area constants (65 nm, 1 GHz).
+
+The paper derives its component numbers from post-layout synthesis
+(Design Compiler + Innovus at 65 nm TSMC) and CACTI.  The constants below
+are calibrated so that the component-level relations the paper reports
+hold:
+
+* a Mokey PE is ~39% smaller than an equivalent-throughput Tensor-Cores
+  FP16 MAC unit (Section IV-C), giving the 16.1 vs 14.8 mm^2 compute areas
+  of Table II at 2048 vs 3072 units;
+* Mokey compute units consume ~2.7x less energy than FP16 Tensor Cores
+  units (Section I);
+* the Table III energy breakdown magnitudes (DRAM-dominated at small
+  buffers, compute approaching half the total at large buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OperationEnergies", "UnitAreas", "DEFAULT_ENERGIES", "DEFAULT_AREAS"]
+
+
+@dataclass(frozen=True)
+class OperationEnergies:
+    """Energy per operation, in picojoules.
+
+    Attributes:
+        fp16_mac: FP16 multiply-accumulate (Tensor Cores / GOBO datapath).
+        int16_mac: 16-bit fixed-point MAC (Mokey outlier and post-processing).
+        gaussian_pair: One Mokey Gaussian pair: 3-bit index addition, sign
+            XOR and the four counter-register-file updates.
+        lut_lookup: One dictionary lookup (index -> 16-bit centroid).
+        quantizer_value: Quantizing one output activation (comparator array
+            plus encoder of Fig. 7).
+        sram_read_bit: On-chip buffer read energy per bit.
+        sram_write_bit: On-chip buffer write energy per bit.
+    """
+
+    fp16_mac: float = 6.5
+    int16_mac: float = 2.6
+    gaussian_pair: float = 2.4
+    lut_lookup: float = 0.45
+    quantizer_value: float = 1.8
+    sram_read_bit: float = 0.035
+    sram_write_bit: float = 0.045
+
+
+@dataclass(frozen=True)
+class UnitAreas:
+    """Area per processing element, in mm^2 (65 nm).
+
+    Calibrated from Table II: 2048 Tensor-Cores units in 16.1 mm^2,
+    2560 GOBO units in 15.9 mm^2, 3072 Mokey units in 14.8 mm^2.
+    """
+
+    tensor_core_unit: float = 16.1 / 2048
+    gobo_unit: float = 15.9 / 2560
+    mokey_unit: float = 14.8 / 3072
+
+
+DEFAULT_ENERGIES = OperationEnergies()
+DEFAULT_AREAS = UnitAreas()

@@ -1,0 +1,36 @@
+"""The GOBO accelerator (paper Section IV-C "Comparison with GOBO").
+
+GOBO stores weights as 3-bit dictionary indexes (plus rare FP32 outliers)
+but keeps activations in FP16 and computes with FP16 units: each weight
+index passes through a small lookup table before the MAC.  Its advantage
+over the Tensor-Cores baseline is therefore weight traffic/capacity only.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.energy import DEFAULT_AREAS
+
+__all__ = ["gobo_design"]
+
+# Effective bits per stored weight value: 3-bit indexes for ~99.9% of the
+# values plus FP32 outliers and the per-tensor dictionary amortise to ~3.3b.
+_GOBO_WEIGHT_BITS = 3.3
+
+
+def gobo_design(num_units: int = 2560) -> AcceleratorDesign:
+    """The GOBO accelerator configuration used for Figures 12-13."""
+    return AcceleratorDesign(
+        name="gobo",
+        datapath="gobo",
+        num_units=num_units,
+        unit_area_mm2=DEFAULT_AREAS.gobo_unit,
+        weight_bits_offchip=_GOBO_WEIGHT_BITS,
+        activation_bits_offchip=16.0,
+        weight_bits_onchip=_GOBO_WEIGHT_BITS,
+        activation_bits_onchip=16.0,
+        buffer_interface_bits=16,
+        weight_outlier_fraction=0.001,
+        activation_outlier_fraction=0.0,
+        decompression_lut=True,
+    )

@@ -1,0 +1,94 @@
+"""Result dataclasses shared by the accelerator simulator and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EnergyBreakdown", "AreaBreakdown", "SimulationResult"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in joules, split by component (Table III rows)."""
+
+    dram: float = 0.0
+    sram: float = 0.0
+    compute: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.dram + self.sram + self.compute
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            dram=self.dram * factor, sram=self.sram * factor, compute=self.compute * factor
+        )
+
+    def add(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        self.dram += other.dram
+        self.sram += other.sram
+        self.compute += other.compute
+        return self
+
+
+@dataclass
+class AreaBreakdown:
+    """Area in mm^2, split by component (Table III rows)."""
+
+    compute: float = 0.0
+    buffer: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.buffer
+
+
+@dataclass
+class SimulationResult:
+    """End-to-end simulation outcome for one accelerator configuration.
+
+    Attributes:
+        design_name: Accelerator design label.
+        workload_name: Model/task/sequence-length label.
+        buffer_bytes: On-chip buffer capacity used.
+        compute_cycles: Cycles the compute array is busy.
+        memory_cycles: Cycles spent waiting on off-chip transfers.
+        total_cycles: End-to-end cycles after compute/memory overlap.
+        traffic_bytes: Total off-chip traffic.
+        energy: Energy breakdown.
+        area: Area breakdown.
+        detail: Free-form per-simulation extras.
+    """
+
+    design_name: str
+    workload_name: str
+    buffer_bytes: int
+    compute_cycles: float
+    memory_cycles: float
+    total_cycles: float
+    traffic_bytes: float
+    energy: EnergyBreakdown
+    area: AreaBreakdown
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of the shorter phase hidden behind the longer one."""
+        shorter = min(self.compute_cycles, self.memory_cycles)
+        if shorter <= 0:
+            return 1.0
+        hidden = self.compute_cycles + self.memory_cycles - self.total_cycles
+        return max(0.0, min(1.0, hidden / shorter))
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How many times faster this result is than ``other``."""
+        if self.total_cycles <= 0:
+            return float("inf")
+        return other.total_cycles / self.total_cycles
+
+    def energy_efficiency_over(self, other: "SimulationResult") -> float:
+        """How many times less energy this result uses than ``other``."""
+        if self.energy.total <= 0:
+            return float("inf")
+        return other.energy.total / self.energy.total

@@ -1,0 +1,47 @@
+"""The Mokey accelerator (paper Section III-B, Fig. 6).
+
+Tiles of 8 cascaded Gaussian PEs (GPEs) share an Outlier/Post-Processing
+(OPP) unit.  GPEs process one Gaussian activation/weight pair per cycle by
+adding the 3-bit indexes and updating the four counter register files;
+outlier pairs are serialised through the shared OPP; after a tensor
+finishes, the OPP drains the counters with a short weighted reduction and
+the output quantizer converts each 16-bit output activation back to a
+4-bit index.
+
+Off-chip values use the 4-bit container of Fig. 5; on-chip values use the
+5-bit single-stream encoding.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.energy import DEFAULT_AREAS
+
+__all__ = ["mokey_design", "MOKEY_OFFCHIP_BITS", "MOKEY_ONCHIP_BITS"]
+
+# Effective off-chip bits per value: 4-bit indexes plus the outlier-pointer
+# stream (6 bits per group of 64 plus 6 bits per outlier) amortise to ~4.3b
+# for the paper's outlier rates.
+MOKEY_OFFCHIP_BITS = 4.4
+MOKEY_ONCHIP_BITS = 5.0
+# Post-processing drain per output activation: 15 SoI bins + 8 SoA1 + 8 SoW1
+# + 1 PoM1 reductions plus the final scale/add, serialised in the OPP.
+POST_PROCESSING_MACS_PER_OUTPUT = 34
+
+
+def mokey_design(num_units: int = 3072, gpes_per_opp: int = 8) -> AcceleratorDesign:
+    """The Mokey accelerator configuration used throughout Section IV."""
+    return AcceleratorDesign(
+        name="mokey",
+        datapath="mokey",
+        num_units=num_units,
+        unit_area_mm2=DEFAULT_AREAS.mokey_unit,
+        weight_bits_offchip=MOKEY_OFFCHIP_BITS,
+        activation_bits_offchip=MOKEY_OFFCHIP_BITS,
+        weight_bits_onchip=MOKEY_ONCHIP_BITS,
+        activation_bits_onchip=MOKEY_ONCHIP_BITS,
+        buffer_interface_bits=5,
+        gpes_per_opp=gpes_per_opp,
+        weight_outlier_fraction=0.015,
+        activation_outlier_fraction=0.045,
+    )

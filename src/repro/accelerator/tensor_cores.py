@@ -1,0 +1,30 @@
+"""The FP16 Tensor-Cores baseline accelerator (paper Section IV-B).
+
+A spatial accelerator with 2048 FP16 multiply-accumulate units, modelled
+after the Tensor-Cores microbenchmarking studies the paper cites.  Weights
+and activations are stored as FP16 both off-chip and on-chip.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.energy import DEFAULT_AREAS
+
+__all__ = ["tensor_cores_design"]
+
+
+def tensor_cores_design(num_units: int = 2048) -> AcceleratorDesign:
+    """The baseline FP16 Tensor-Cores-style accelerator."""
+    return AcceleratorDesign(
+        name="tensor-cores",
+        datapath="fp16",
+        num_units=num_units,
+        unit_area_mm2=DEFAULT_AREAS.tensor_core_unit,
+        weight_bits_offchip=16.0,
+        activation_bits_offchip=16.0,
+        weight_bits_onchip=16.0,
+        activation_bits_onchip=16.0,
+        buffer_interface_bits=16,
+        weight_outlier_fraction=0.0,
+        activation_outlier_fraction=0.0,
+    )

@@ -1,0 +1,193 @@
+"""Workload extraction: the GEMMs a transformer inference executes.
+
+The accelerator evaluation operates on the full-size model configurations
+(BERT-Base/Large, RoBERTa-Large, DeBERTa-XL) analytically: each encoder
+layer contributes a fixed set of GEMMs whose shapes depend only on the
+architecture and the sequence length.  The attention score and context
+GEMMs are activation-by-activation products and therefore scale
+quadratically with sequence length — the effect behind Fig. 1 and the
+SQuAD results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model_zoo import MODEL_CONFIGS, PAPER_MODELS
+
+__all__ = [
+    "GemmShape",
+    "Workload",
+    "encoder_gemms",
+    "model_workload",
+    "paper_workloads",
+    "TASK_SEQUENCE_LENGTHS",
+]
+
+# Sequence lengths used in the paper's evaluation (Section IV-D).
+TASK_SEQUENCE_LENGTHS: Dict[str, int] = {"mnli": 128, "stsb": 128, "squad": 384}
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One GEMM: ``(m x k) @ (k x n)``, possibly repeated ``count`` times.
+
+    Attributes:
+        name: Human-readable label.
+        m: Output rows (tokens).
+        k: Reduction dimension.
+        n: Output columns.
+        count: How many identical GEMMs of this shape the layer performs
+            (e.g. one per attention head).
+        weight_static: Whether the second operand is a statically-known
+            weight matrix (False for the attention score/context GEMMs whose
+            both operands are activations).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    weight_static: bool = True
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of all ``count`` instances."""
+        return self.m * self.k * self.n * self.count
+
+    @property
+    def weight_values(self) -> int:
+        """Values of the second operand (0-reuse weight matrix) per layer."""
+        return self.k * self.n * self.count
+
+    @property
+    def input_values(self) -> int:
+        """Values of the first operand."""
+        return self.m * self.k * self.count
+
+    @property
+    def output_values(self) -> int:
+        """Values produced."""
+        return self.m * self.n * self.count
+
+
+@dataclass
+class Workload:
+    """A full-model inference workload.
+
+    Attributes:
+        name: Label, e.g. ``"bert-large/squad/seq384"``.
+        config: The model architecture.
+        sequence_length: Tokens per input.
+        batch_size: Inputs processed per inference pass.
+        layer_gemms: The GEMMs of one encoder layer (shapes already include
+            the batch size in ``m``).
+        num_layers: How many identical encoder layers the model has.
+    """
+
+    name: str
+    config: TransformerConfig
+    sequence_length: int
+    batch_size: int
+    layer_gemms: List[GemmShape]
+    num_layers: int
+
+    @property
+    def total_macs(self) -> int:
+        return self.num_layers * sum(g.macs for g in self.layer_gemms)
+
+    @property
+    def total_weight_values(self) -> int:
+        """Distinct weight values across all layers (weights are per layer)."""
+        return self.num_layers * sum(g.weight_values for g in self.layer_gemms if g.weight_static)
+
+    @property
+    def total_activation_values(self) -> int:
+        """Activation values produced across all layers."""
+        return self.num_layers * sum(g.output_values for g in self.layer_gemms)
+
+    def activation_values_per_layer(self) -> int:
+        return sum(g.output_values for g in self.layer_gemms)
+
+
+def encoder_gemms(
+    config: TransformerConfig, sequence_length: int, batch_size: int = 1
+) -> List[GemmShape]:
+    """The GEMMs of one encoder layer at a given sequence length."""
+    tokens = sequence_length * batch_size
+    h = config.hidden_size
+    heads = config.num_heads
+    head_dim = config.head_dim
+    inter = config.intermediate_size
+
+    gemms = [
+        GemmShape("attention.query", tokens, h, h),
+        GemmShape("attention.key", tokens, h, h),
+        GemmShape("attention.value", tokens, h, h),
+        GemmShape(
+            "attention.scores",
+            sequence_length,
+            head_dim,
+            sequence_length,
+            count=heads * batch_size,
+            weight_static=False,
+        ),
+        GemmShape(
+            "attention.context",
+            sequence_length,
+            sequence_length,
+            head_dim,
+            count=heads * batch_size,
+            weight_static=False,
+        ),
+        GemmShape("attention.output", tokens, h, h),
+        GemmShape("ffn.intermediate", tokens, h, inter),
+        GemmShape("ffn.output", tokens, inter, h),
+    ]
+    if config.disentangled_attention:
+        gemms.insert(3, GemmShape("attention.relative_query", tokens, h, h))
+        gemms.insert(4, GemmShape("attention.relative_key", tokens, h, h))
+    return gemms
+
+
+def model_workload(
+    model_name: str,
+    task: str = "mnli",
+    sequence_length: int = None,
+    batch_size: int = 1,
+) -> Workload:
+    """Build the inference workload for one of the paper's model/task pairs.
+
+    Args:
+        model_name: One of the :data:`MODEL_CONFIGS` keys.
+        task: Task name; sets the default sequence length (SQuAD uses 384).
+        sequence_length: Override the task's default sequence length.
+        batch_size: Inputs per inference pass (the paper evaluates batches).
+    """
+    if model_name not in MODEL_CONFIGS:
+        raise KeyError(f"unknown model {model_name!r}")
+    config = MODEL_CONFIGS[model_name]
+    if sequence_length is None:
+        sequence_length = TASK_SEQUENCE_LENGTHS.get(task, 128)
+    gemms = encoder_gemms(config, sequence_length, batch_size)
+    return Workload(
+        name=f"{model_name}/{task}/seq{sequence_length}",
+        config=config,
+        sequence_length=sequence_length,
+        batch_size=batch_size,
+        layer_gemms=gemms,
+        num_layers=config.num_layers,
+    )
+
+
+def paper_workloads(batch_size: int = 1) -> List[Workload]:
+    """The eight model/task workloads of the paper's evaluation (Table I)."""
+    workloads = []
+    for model_name, task, sequence_length, _head in PAPER_MODELS:
+        workloads.append(
+            model_workload(model_name, task, sequence_length, batch_size=batch_size)
+        )
+    return workloads

@@ -1,0 +1,6 @@
+"""Analysis helpers: footprint studies and report formatting."""
+
+from repro.analysis.footprint import footprint_vs_sequence_length
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = ["footprint_vs_sequence_length", "format_table", "format_series"]

@@ -1,0 +1,47 @@
+"""Weight/activation footprint analysis (paper Fig. 1).
+
+Figure 1 plots the total memory footprint of BERT-Large as a function of
+sequence length, split into weights and activations, showing that
+activations dominate beyond ~512 tokens — the motivation for quantizing
+activations and not just weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.memory.compression import FootprintBreakdown, model_memory_footprint
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model_zoo import MODEL_CONFIGS
+
+__all__ = ["footprint_vs_sequence_length"]
+
+DEFAULT_SEQUENCE_LENGTHS = (128, 256, 512, 1024, 2048)
+
+
+def footprint_vs_sequence_length(
+    model_name: str = "bert-large",
+    sequence_lengths: Iterable[int] = DEFAULT_SEQUENCE_LENGTHS,
+    bits_per_value: float = 16.0,
+    config: TransformerConfig = None,
+) -> List[FootprintBreakdown]:
+    """Footprint breakdowns over a sweep of sequence lengths.
+
+    Args:
+        model_name: Model to analyse (BERT-Large in the paper's figure).
+        sequence_lengths: Sequence lengths to sweep.
+        bits_per_value: Storage precision (FP16 in the figure).
+        config: Explicit configuration overriding ``model_name``.
+    """
+    if config is None:
+        config = MODEL_CONFIGS[model_name]
+    return [
+        model_memory_footprint(
+            config,
+            sequence_length,
+            weight_bits=bits_per_value,
+            activation_bits=bits_per_value,
+            label=f"{config.name}/seq{sequence_length}",
+        )
+        for sequence_length in sequence_lengths
+    ]

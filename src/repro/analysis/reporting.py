@@ -1,0 +1,51 @@
+"""Plain-text report formatting shared by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; each row must have the same length as ``headers``.
+    """
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+    widths = [
+        max(len(str(headers[col])), max((len(row[col]) for row in rows), default=0))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(headers[col]).ljust(widths[col]) for col in range(len(headers))),
+        "  ".join("-" * widths[col] for col in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Dict[object, float], unit: str = "") -> str:
+    """Render a one-line-per-point series (used for figure-style outputs)."""
+    lines = [f"{name}:"]
+    for key, value in points.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {key}: {_fmt(value)}{suffix}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

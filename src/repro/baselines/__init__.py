@@ -1,0 +1,35 @@
+"""Baseline quantization methods compared against Mokey in Table IV.
+
+Every baseline implements the :class:`~repro.baselines.base.BaselineQuantizer`
+interface so the Table IV benchmark can evaluate them uniformly: quantize a
+model post-training (methods that normally rely on fine-tuning are applied
+post-training as well, which the benchmark notes), run the synthetic task,
+and account for the memory footprint.
+"""
+
+from repro.baselines.base import BaselineQuantizer, BaselineResult, MethodProperties
+from repro.baselines.q8bert import Q8BertQuantizer
+from repro.baselines.ibert import IBertQuantizer
+from repro.baselines.qbert import QBertQuantizer
+from repro.baselines.gobo import GoboQuantizer
+from repro.baselines.ternarybert import TernaryBertQuantizer
+
+ALL_BASELINES = (
+    Q8BertQuantizer,
+    IBertQuantizer,
+    QBertQuantizer,
+    GoboQuantizer,
+    TernaryBertQuantizer,
+)
+
+__all__ = [
+    "BaselineQuantizer",
+    "BaselineResult",
+    "MethodProperties",
+    "Q8BertQuantizer",
+    "IBertQuantizer",
+    "QBertQuantizer",
+    "GoboQuantizer",
+    "TernaryBertQuantizer",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,133 @@
+"""GOBO baseline: post-training 3-bit dictionary quantization of weights.
+
+GOBO (Zadeh et al., MICRO 2020) is the closest prior work to Mokey: a
+post-training, weights-only method that splits every weight tensor into a
+"Gaussian" group quantized to a small dictionary (3-bit indexes into 8
+centroids) and a tiny "Outlier" group kept at full FP32 precision.
+Centroids are chosen with an iterative, k-means-like refinement per
+tensor.  Activations remain floating-point, and computation stays in the
+floating-point domain (centroids are FP values).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BaselineResult, MethodProperties
+from repro.transformer.model import TransformerModel
+from repro.transformer.tasks import SyntheticDataset
+
+__all__ = ["GoboQuantizer", "gobo_quantize_tensor"]
+
+
+def _kmeans_1d(values: np.ndarray, num_centroids: int, iterations: int = 10) -> np.ndarray:
+    """Iterative 1-D centroid refinement (GOBO's centroid selection)."""
+    # Initialise centroids at evenly spaced quantiles, then run Lloyd updates.
+    quantiles = np.linspace(0.0, 1.0, num_centroids + 2)[1:-1]
+    centroids = np.quantile(values, quantiles)
+    for _ in range(iterations):
+        midpoints = (centroids[:-1] + centroids[1:]) / 2.0
+        assignment = np.searchsorted(midpoints, values)
+        new_centroids = centroids.copy()
+        for c in range(num_centroids):
+            members = values[assignment == c]
+            if members.size:
+                new_centroids[c] = members.mean()
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = np.sort(new_centroids)
+    return centroids
+
+
+def gobo_quantize_tensor(
+    values: np.ndarray,
+    dictionary_bits: int = 3,
+    outlier_sigma: float = 3.0,
+) -> Tuple[np.ndarray, float, int]:
+    """Quantize one tensor with the GOBO scheme.
+
+    Args:
+        values: Weight tensor.
+        dictionary_bits: Bits per Gaussian-group index (3 in the paper).
+        outlier_sigma: Values further than this many standard deviations
+            from the mean form the outlier group and stay FP32.
+
+    Returns:
+        The dequantized reconstruction, the outlier fraction and the total
+        number of storage bits (indexes + FP32 outliers + dictionary).
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    mean, std = flat.mean(), max(flat.std(), 1e-12)
+    outlier_mask = np.abs(flat - mean) > outlier_sigma * std
+    gaussian = flat[~outlier_mask]
+
+    num_centroids = 2 ** dictionary_bits
+    if gaussian.size >= num_centroids:
+        centroids = _kmeans_1d(gaussian, num_centroids)
+    else:
+        centroids = np.sort(np.unique(gaussian)) if gaussian.size else np.zeros(1)
+
+    midpoints = (centroids[:-1] + centroids[1:]) / 2.0 if centroids.size > 1 else np.empty(0)
+    reconstruction = flat.copy()
+    assignment = np.searchsorted(midpoints, gaussian)
+    reconstruction[~outlier_mask] = centroids[assignment]
+    # Outliers are stored exactly (FP32), so they reconstruct losslessly.
+
+    outlier_count = int(outlier_mask.sum())
+    bits = (
+        (flat.size - outlier_count) * dictionary_bits  # Gaussian indexes
+        + outlier_count * 32                            # FP32 outliers
+        + outlier_count * 32                            # outlier position metadata
+        + centroids.size * 32                           # the dictionary
+    )
+    outlier_fraction = outlier_count / flat.size if flat.size else 0.0
+    return reconstruction.reshape(np.asarray(values).shape).astype(np.float32), outlier_fraction, bits
+
+
+class GoboQuantizer(BaselineQuantizer):
+    """Weights-only 3-bit dictionary quantization with FP32 outliers (GOBO)."""
+
+    weight_bits = 3
+    activation_bits = 32
+
+    def __init__(self, dictionary_bits: int = 3, outlier_sigma: float = 3.0) -> None:
+        self.dictionary_bits = dictionary_bits
+        self.outlier_sigma = outlier_sigma
+
+    @property
+    def properties(self) -> MethodProperties:
+        return MethodProperties(
+            name="GOBO",
+            weight_bits=self.dictionary_bits,
+            activation_bits=self.activation_bits,
+            integer_compute=False,
+            post_training=True,
+        )
+
+    def quantize(
+        self,
+        model: TransformerModel,
+        calibration: Optional[SyntheticDataset] = None,
+    ) -> BaselineResult:
+        outlier_fractions = []
+
+        def quantize_weight(name: str, values: np.ndarray):
+            reconstruction, outlier_fraction, bits = gobo_quantize_tensor(
+                values, self.dictionary_bits, self.outlier_sigma
+            )
+            outlier_fractions.append(outlier_fraction)
+            return reconstruction, bits
+
+        quantized_model, bits, original_bits = self._quantize_model_weights(
+            model, quantize_weight
+        )
+        return BaselineResult(
+            model=quantized_model,
+            activation_hook_factory=None,
+            properties=self.properties,
+            weight_bits_total=bits,
+            original_weight_bits_total=original_bits,
+            extra={"mean_outlier_fraction": float(np.mean(outlier_fractions))},
+        )

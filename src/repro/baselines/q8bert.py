@@ -1,0 +1,103 @@
+"""Q8BERT baseline: symmetric 8-bit weights and activations.
+
+Q8BERT (Zafrir et al., 2019) quantizes weights and activations to 8-bit
+fixed-point with symmetric linear quantization, but keeps some layers
+(e.g. Softmax) in FP32 and relies on quantization-aware fine-tuning.  This
+reproduction applies the same numeric scheme post-training: per-tensor
+symmetric 8-bit quantization of weights, and activation fake-quantization
+using calibration-derived clipping ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineQuantizer,
+    BaselineResult,
+    MethodProperties,
+    uniform_symmetric_quantize,
+)
+from repro.transformer.model import TransformerModel
+from repro.transformer.profiling import ActivationProfiler
+from repro.transformer.tasks import SyntheticDataset
+
+__all__ = ["Q8BertQuantizer", "UniformActivationHook"]
+
+
+class UniformActivationHook:
+    """Fake-quantizes activations with per-tensor symmetric uniform quantization."""
+
+    def __init__(self, ranges: Dict[str, float], bits: int) -> None:
+        self.ranges = ranges
+        self.bits = bits
+
+    def __call__(self, name: str, array: np.ndarray) -> np.ndarray:
+        max_value = self.ranges.get(name)
+        if max_value is None or name == "head.output":
+            return array
+        reconstruction, _ = uniform_symmetric_quantize(array, self.bits, max_value)
+        return reconstruction.reshape(array.shape)
+
+
+class Q8BertQuantizer(BaselineQuantizer):
+    """8-bit symmetric quantization of weights and activations."""
+
+    weight_bits = 8
+    activation_bits = 8
+
+    def __init__(self, calibration_samples: int = 8) -> None:
+        self.calibration_samples = calibration_samples
+
+    @property
+    def properties(self) -> MethodProperties:
+        return MethodProperties(
+            name="Q8BERT",
+            weight_bits=self.weight_bits,
+            activation_bits=self.activation_bits,
+            integer_compute=False,
+            post_training=False,
+        )
+
+    def _calibrate(
+        self, model: TransformerModel, calibration: SyntheticDataset
+    ) -> Dict[str, float]:
+        """Collect per-activation max-abs clipping ranges."""
+        profiler = ActivationProfiler()
+        profiler.profile(model, calibration, num_samples=self.calibration_samples)
+        return {
+            name: max(abs(stats.minimum), abs(stats.maximum))
+            for name, stats in profiler.statistics.items()
+        }
+
+    def quantize(
+        self,
+        model: TransformerModel,
+        calibration: Optional[SyntheticDataset] = None,
+    ) -> BaselineResult:
+        def quantize_weight(name: str, values: np.ndarray):
+            reconstruction, _ = uniform_symmetric_quantize(values, self.weight_bits)
+            # 8 bits per value plus a 32-bit scale per tensor.
+            return reconstruction, values.size * self.weight_bits + 32
+
+        quantized_model, bits, original_bits = self._quantize_model_weights(
+            model, quantize_weight
+        )
+
+        hook_factory: Optional[Callable] = None
+        if calibration is not None:
+            ranges = self._calibrate(quantized_model, calibration)
+            bits_per_act = self.activation_bits
+
+            def hook_factory() -> UniformActivationHook:
+                return UniformActivationHook(ranges, bits_per_act)
+
+        return BaselineResult(
+            model=quantized_model,
+            activation_hook_factory=hook_factory,
+            properties=self.properties,
+            weight_bits_total=bits,
+            original_weight_bits_total=original_bits,
+        )

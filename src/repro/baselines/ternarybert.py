@@ -1,0 +1,90 @@
+"""TernaryBERT baseline: 2-bit (ternary) weights, 8-bit activations.
+
+TernaryBERT (Zhang et al., 2020) combines knowledge distillation with
+ternarisation of the weights: every weight tensor is mapped to
+``{-w, 0, +w}`` with a per-tensor scale ``w``.  Activations are quantized
+to 8 bits.  The full method requires distillation-aware training; applied
+post-training (as here, using the TWN threshold rule) the accuracy drop is
+larger, matching the qualitative ordering of Table IV where TernaryBERT
+trades the most accuracy for the highest compression.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BaselineResult, MethodProperties
+from repro.baselines.q8bert import Q8BertQuantizer, UniformActivationHook
+from repro.transformer.model import TransformerModel
+from repro.transformer.tasks import SyntheticDataset
+
+__all__ = ["TernaryBertQuantizer", "ternarize"]
+
+
+def ternarize(values: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """Ternary weight quantization with the TWN threshold rule.
+
+    The threshold is ``0.7 * mean(|w|)`` and the scale is the mean magnitude
+    of the values that survive the threshold.
+
+    Returns:
+        The reconstruction, the threshold and the scale.
+    """
+    flat = np.asarray(values, dtype=np.float64)
+    threshold = 0.7 * float(np.abs(flat).mean())
+    mask = np.abs(flat) > threshold
+    scale = float(np.abs(flat[mask]).mean()) if mask.any() else 0.0
+    reconstruction = np.where(mask, np.sign(flat) * scale, 0.0)
+    return reconstruction.astype(np.float32), threshold, scale
+
+
+class TernaryBertQuantizer(BaselineQuantizer):
+    """2-bit ternary weights + 8-bit activations (TernaryBERT)."""
+
+    weight_bits = 2
+    activation_bits = 8
+
+    def __init__(self, calibration_samples: int = 8) -> None:
+        self._activation_helper = Q8BertQuantizer(calibration_samples=calibration_samples)
+
+    @property
+    def properties(self) -> MethodProperties:
+        return MethodProperties(
+            name="TernaryBERT",
+            weight_bits=self.weight_bits,
+            activation_bits=self.activation_bits,
+            integer_compute=False,
+            post_training=False,
+        )
+
+    def quantize(
+        self,
+        model: TransformerModel,
+        calibration: Optional[SyntheticDataset] = None,
+    ) -> BaselineResult:
+        def quantize_weight(name: str, values: np.ndarray):
+            reconstruction, _, _ = ternarize(values)
+            # 2 bits per value plus a 32-bit scale per tensor.
+            return reconstruction, values.size * self.weight_bits + 32
+
+        quantized_model, bits, original_bits = self._quantize_model_weights(
+            model, quantize_weight
+        )
+
+        hook_factory: Optional[Callable] = None
+        if calibration is not None:
+            ranges = self._activation_helper._calibrate(quantized_model, calibration)
+            act_bits = self.activation_bits
+
+            def hook_factory() -> UniformActivationHook:
+                return UniformActivationHook(ranges, act_bits)
+
+        return BaselineResult(
+            model=quantized_model,
+            activation_hook_factory=hook_factory,
+            properties=self.properties,
+            weight_bits_total=bits,
+            original_weight_bits_total=original_bits,
+        )

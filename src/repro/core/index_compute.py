@@ -1,0 +1,293 @@
+"""Index-domain computation (paper Section II-D, Fig. 4, Eq. 3-6).
+
+Because every Gaussian-encoded value has the form
+``theta * (a**int + b) * s + m``, the dot product of an activation vector
+with a weight vector decomposes into four families of terms:
+
+* ``SoI``  — sum of ``a**(int_A + int_W)`` signed by ``theta_A * theta_W``,
+  accumulated as a 15-entry signed histogram of exponent sums;
+* ``SoA1`` / ``SoA2`` — sums of activation exponentials signed by the
+  product sign / the activation sign alone (Eq. 4);
+* ``SoW1`` / ``SoW2`` — the symmetric weight-side terms (Eq. 5);
+* ``PoM1..4`` — the sign-count and constant terms (Eq. 6).
+
+Pairs in which either operand is an outlier are excluded from the
+histograms and handled by a direct multiply-accumulate on their 16-bit
+centroids, exactly like the hardware's OPP unit.
+
+The module provides both a faithful scalar engine used by the correctness
+tests and hardware model, and batched helpers used by the accelerator
+simulator to count operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantizer import QuantizedTensor
+from repro.core.tensor_dictionary import EncodedValues, TensorDictionary
+
+__all__ = [
+    "IndexComputeStats",
+    "IndexComputeResult",
+    "IndexDomainEngine",
+    "index_domain_dot",
+    "index_domain_matmul",
+]
+
+
+@dataclass
+class IndexComputeStats:
+    """Operation counts of one index-domain dot product.
+
+    These counts drive the accelerator energy model: the bulk of the work
+    is narrow additions (index sums and counter updates) and the rare
+    outlier pairs cost a full 16-bit MAC each.
+    """
+
+    gaussian_pairs: int = 0
+    outlier_pairs: int = 0
+    index_additions: int = 0
+    counter_updates: int = 0
+    post_processing_macs: int = 0
+
+    @property
+    def total_pairs(self) -> int:
+        return self.gaussian_pairs + self.outlier_pairs
+
+    @property
+    def outlier_pair_fraction(self) -> float:
+        total = self.total_pairs
+        return self.outlier_pairs / total if total else 0.0
+
+    def merge(self, other: "IndexComputeStats") -> "IndexComputeStats":
+        """Accumulate another dot product's counts into this one."""
+        self.gaussian_pairs += other.gaussian_pairs
+        self.outlier_pairs += other.outlier_pairs
+        self.index_additions += other.index_additions
+        self.counter_updates += other.counter_updates
+        self.post_processing_macs += other.post_processing_macs
+        return self
+
+
+@dataclass
+class IndexComputeResult:
+    """Value and term breakdown of one index-domain dot product."""
+
+    value: float
+    soi: float
+    soa1: float
+    soa2: float
+    sow1: float
+    sow2: float
+    pom: float
+    outlier_contribution: float
+    stats: IndexComputeStats
+
+    def terms(self) -> Dict[str, float]:
+        return {
+            "SoI": self.soi,
+            "SoA1": self.soa1,
+            "SoA2": self.soa2,
+            "SoW1": self.sow1,
+            "SoW2": self.sow2,
+            "PoM": self.pom,
+            "outliers": self.outlier_contribution,
+        }
+
+
+class IndexDomainEngine:
+    """Computes dot products directly on dictionary indexes.
+
+    Args:
+        activation_dictionary: Dictionary of the activation tensor.
+        weight_dictionary: Dictionary of the weight tensor.
+
+    Both dictionaries must be derived from the same Golden Dictionary so
+    that they share the exponential base ``a`` and offset ``b``.
+    """
+
+    def __init__(
+        self,
+        activation_dictionary: TensorDictionary,
+        weight_dictionary: TensorDictionary,
+    ) -> None:
+        fit_a = activation_dictionary.golden.fit
+        fit_w = weight_dictionary.golden.fit
+        if not np.isclose(fit_a.a, fit_w.a) or not np.isclose(fit_a.b, fit_w.b):
+            raise ValueError(
+                "activation and weight dictionaries must share the same Golden Dictionary"
+            )
+        self.act_dict = activation_dictionary
+        self.weight_dict = weight_dictionary
+        self.a = fit_a.a
+        self.b = fit_a.b
+        self.num_entries = fit_a.num_entries
+        # Pre-computed bases a**k for every possible exponent sum (the values
+        # the OPP multiplies the SoI histogram with during post-processing).
+        self.soi_bases = self.a ** np.arange(2 * self.num_entries - 1, dtype=np.float64)
+        self.half_bases = self.a ** np.arange(self.num_entries, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Scalar (per output activation) engine
+    # ------------------------------------------------------------------ #
+    def dot(
+        self,
+        activation: EncodedValues,
+        weight: EncodedValues,
+    ) -> IndexComputeResult:
+        """Compute one output activation from encoded input vectors."""
+        if activation.shape != weight.shape:
+            raise ValueError("activation and weight vectors must have the same length")
+
+        a, b = self.a, self.b
+        s_a, m_a = self.act_dict.std, self.act_dict.mean
+        s_w, m_w = self.weight_dict.std, self.weight_dict.mean
+
+        theta_a = activation.sign.astype(np.float64).ravel()
+        theta_w = weight.sign.astype(np.float64).ravel()
+        idx_a = activation.gaussian_index.astype(np.int64).ravel()
+        idx_w = weight.gaussian_index.astype(np.int64).ravel()
+        outlier_pair = (activation.is_outlier | weight.is_outlier).ravel()
+        gaussian_pair = ~outlier_pair
+
+        n_gauss = int(gaussian_pair.sum())
+        n_outlier = int(outlier_pair.sum())
+
+        # --- Histogram accumulation (what the GPE's CRFs do) -------------- #
+        product_sign = (theta_a * theta_w)[gaussian_pair]
+        exp_sum = (idx_a + idx_w)[gaussian_pair]
+        soi_hist = np.zeros(2 * self.num_entries - 1, dtype=np.float64)
+        np.add.at(soi_hist, exp_sum, product_sign)
+
+        soa1_hist = np.zeros(self.num_entries, dtype=np.float64)
+        np.add.at(soa1_hist, idx_a[gaussian_pair], product_sign)
+        sow1_hist = np.zeros(self.num_entries, dtype=np.float64)
+        np.add.at(sow1_hist, idx_w[gaussian_pair], product_sign)
+        pom1_count = float(product_sign.sum())
+
+        # --- Post-processing: weighted reductions (Eq. 3-6) --------------- #
+        soi = s_a * s_w * float(soi_hist @ self.soi_bases)
+        soa1 = s_a * s_w * b * float(soa1_hist @ self.half_bases)
+        sow1 = s_w * s_a * b * float(sow1_hist @ self.half_bases)
+
+        # Activation-only and weight-only sums over the Gaussian pairs.
+        sum_theta_a_exp = float((theta_a[gaussian_pair] * self.half_bases[idx_a[gaussian_pair]]).sum())
+        sum_theta_w_exp = float((theta_w[gaussian_pair] * self.half_bases[idx_w[gaussian_pair]]).sum())
+        sum_theta_a = float(theta_a[gaussian_pair].sum())
+        sum_theta_w = float(theta_w[gaussian_pair].sum())
+
+        soa2 = s_a * m_w * sum_theta_a_exp
+        sow2 = s_w * m_a * sum_theta_w_exp
+        pom = (
+            s_a * s_w * b * b * pom1_count
+            + s_a * m_w * b * sum_theta_a
+            + s_w * m_a * b * sum_theta_w
+            + n_gauss * m_a * m_w
+        )
+
+        # --- Outlier pairs: direct MAC on decoded 16-bit centroids -------- #
+        outlier_contribution = 0.0
+        if n_outlier:
+            decoded_a = self.act_dict.decode(activation, apply_fixed_point=False).ravel()
+            decoded_w = self.weight_dict.decode(weight, apply_fixed_point=False).ravel()
+            outlier_contribution = float(
+                (decoded_a[outlier_pair] * decoded_w[outlier_pair]).sum()
+            )
+
+        value = soi + soa1 + soa2 + sow1 + sow2 + pom + outlier_contribution
+
+        stats = IndexComputeStats(
+            gaussian_pairs=n_gauss,
+            outlier_pairs=n_outlier,
+            index_additions=n_gauss,
+            # Each Gaussian pair updates the SoI, SoA1, SoW1 and PoM1 counters.
+            counter_updates=4 * n_gauss,
+            # Post-processing: one MAC per SoI bin + per SoA1/SoW1 bin + PoM,
+            # plus one MAC per outlier pair in the OPP.
+            post_processing_macs=(2 * self.num_entries - 1) + 2 * self.num_entries + 1 + n_outlier,
+        )
+        return IndexComputeResult(
+            value=value,
+            soi=soi,
+            soa1=soa1,
+            soa2=soa2,
+            sow1=sow1,
+            sow2=sow2,
+            pom=pom,
+            outlier_contribution=outlier_contribution,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched helpers
+    # ------------------------------------------------------------------ #
+    def matmul(
+        self,
+        activations: QuantizedTensor,
+        weights: QuantizedTensor,
+    ) -> Tuple[np.ndarray, IndexComputeStats]:
+        """Index-domain matrix multiply ``activations @ weights``.
+
+        Args:
+            activations: Quantized ``(M, K)`` activation matrix.
+            weights: Quantized ``(K, N)`` weight matrix.
+
+        Returns:
+            The ``(M, N)`` result and the merged operation statistics.
+        """
+        if len(activations.shape) != 2 or len(weights.shape) != 2:
+            raise ValueError("matmul expects 2-D quantized tensors")
+        m_rows, k_a = activations.shape
+        k_w, n_cols = weights.shape
+        if k_a != k_w:
+            raise ValueError("inner dimensions do not match")
+
+        act_encoded = activations.encoded
+        w_encoded = weights.encoded
+        result = np.zeros((m_rows, n_cols), dtype=np.float64)
+        stats = IndexComputeStats()
+        for row in range(m_rows):
+            a_row = _slice_encoded(act_encoded, activations.shape, row, axis=0)
+            for col in range(n_cols):
+                w_col = _slice_encoded(w_encoded, weights.shape, col, axis=1)
+                out = self.dot(a_row, w_col)
+                result[row, col] = out.value
+                stats.merge(out.stats)
+        return result, stats
+
+
+def _slice_encoded(
+    encoded: EncodedValues, shape: Tuple[int, ...], index: int, axis: int
+) -> EncodedValues:
+    """Extract one row (axis=0) or column (axis=1) of a 2-D encoding."""
+
+    def pick(array: np.ndarray) -> np.ndarray:
+        matrix = array.reshape(shape)
+        return matrix[index, :] if axis == 0 else matrix[:, index]
+
+    return EncodedValues(
+        is_outlier=pick(encoded.is_outlier),
+        sign=pick(encoded.sign),
+        gaussian_index=pick(encoded.gaussian_index),
+        outlier_index=pick(encoded.outlier_index),
+    )
+
+
+def index_domain_dot(
+    activations: QuantizedTensor, weights: QuantizedTensor
+) -> IndexComputeResult:
+    """Dot product of two 1-D quantized tensors in the index domain."""
+    engine = IndexDomainEngine(activations.dictionary, weights.dictionary)
+    return engine.dot(activations.encoded, weights.encoded)
+
+
+def index_domain_matmul(
+    activations: QuantizedTensor, weights: QuantizedTensor
+) -> Tuple[np.ndarray, IndexComputeStats]:
+    """Matrix multiply of quantized tensors in the index domain."""
+    engine = IndexDomainEngine(activations.dictionary, weights.dictionary)
+    return engine.matmul(activations, weights)

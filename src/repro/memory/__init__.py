@@ -1,0 +1,30 @@
+"""Memory-system substrate: layouts, compression accounting, DRAM and SRAM models.
+
+The paper's hardware evaluation couples DRAMsim3 (DDR4-3200 dual channel)
+and CACTI-derived on-chip buffer models with the Mokey off-chip container
+of Fig. 5.  This subpackage provides the equivalent analytical models.
+"""
+
+from repro.memory.layout import MokeyMemoryContainer, pack_offchip, unpack_offchip, pack_onchip_5bit, unpack_onchip_5bit
+from repro.memory.compression import (
+    FootprintBreakdown,
+    mokey_stream_bits,
+    method_footprint,
+    model_memory_footprint,
+)
+from repro.memory.dram import DramModel
+from repro.memory.sram import SramBuffer
+
+__all__ = [
+    "MokeyMemoryContainer",
+    "pack_offchip",
+    "unpack_offchip",
+    "pack_onchip_5bit",
+    "unpack_onchip_5bit",
+    "FootprintBreakdown",
+    "mokey_stream_bits",
+    "method_footprint",
+    "model_memory_footprint",
+    "DramModel",
+    "SramBuffer",
+]

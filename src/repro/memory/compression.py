@@ -1,0 +1,152 @@
+"""Footprint and compression-ratio accounting.
+
+Used by the Table IV column "Compression Ratio" (total memory footprint
+reduction for weights + activations of a model/task) and by the
+memory-compression-only deployment analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.memory.layout import GROUP_SIZE
+from repro.transformer.config import TransformerConfig
+
+__all__ = [
+    "FootprintBreakdown",
+    "mokey_stream_bits",
+    "model_memory_footprint",
+    "method_footprint",
+]
+
+
+@dataclass(frozen=True)
+class FootprintBreakdown:
+    """Weight/activation footprint of one model + sequence-length workload.
+
+    Attributes:
+        weight_bits: Parameter footprint in bits.
+        activation_bits: Activation footprint in bits (all layers).
+        label: Description of the configuration this breakdown refers to.
+    """
+
+    weight_bits: float
+    activation_bits: float
+    label: str = ""
+
+    @property
+    def total_bits(self) -> float:
+        return self.weight_bits + self.activation_bits
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bits / 8 / 2 ** 20
+
+    @property
+    def weight_mb(self) -> float:
+        return self.weight_bits / 8 / 2 ** 20
+
+    @property
+    def activation_mb(self) -> float:
+        return self.activation_bits / 8 / 2 ** 20
+
+    @property
+    def activation_share(self) -> float:
+        """Fraction of the total footprint due to activations."""
+        total = self.total_bits
+        return self.activation_bits / total if total else 0.0
+
+    def compression_ratio(self, baseline: "FootprintBreakdown") -> float:
+        """Footprint reduction of this breakdown versus a baseline one."""
+        if self.total_bits == 0:
+            return 1.0
+        return baseline.total_bits / self.total_bits
+
+
+def mokey_stream_bits(
+    num_values: int,
+    outlier_fraction: float,
+    bits_per_value: int = 4,
+    group_size: int = GROUP_SIZE,
+    include_pointers: bool = True,
+) -> float:
+    """Bits used by Mokey's off-chip container for ``num_values`` values.
+
+    Includes the 4-bit value stream plus the outlier-pointer stream
+    (6-bit count per group of 64 and a 6-bit position per outlier).
+    """
+    if num_values <= 0:
+        return 0.0
+    value_bits = num_values * bits_per_value
+    if not include_pointers:
+        return float(value_bits)
+    groups = int(np.ceil(num_values / group_size))
+    pointer_bits = groups * 6 + outlier_fraction * num_values * 6
+    return float(value_bits + pointer_bits)
+
+
+def model_memory_footprint(
+    config: TransformerConfig,
+    sequence_length: int,
+    weight_bits: float = 16,
+    activation_bits: float = 16,
+    weight_outlier_fraction: float = 0.0,
+    activation_outlier_fraction: float = 0.0,
+    mokey_container: bool = False,
+    label: Optional[str] = None,
+) -> FootprintBreakdown:
+    """Footprint of one model at a given sequence length and precision.
+
+    Args:
+        config: Model architecture (full-size paper configuration).
+        sequence_length: Input sequence length.
+        weight_bits: Bits per parameter value.
+        activation_bits: Bits per activation value.
+        weight_outlier_fraction: Only used when ``mokey_container`` is True.
+        activation_outlier_fraction: Only used when ``mokey_container`` is True.
+        mokey_container: Account for Mokey's pointer streams instead of a
+            plain dense layout.
+        label: Optional label stored in the breakdown.
+    """
+    weight_values = config.parameter_count()
+    activation_values = config.num_layers * config.activation_values_per_layer(sequence_length)
+
+    if mokey_container:
+        weight_total = mokey_stream_bits(weight_values, weight_outlier_fraction, int(weight_bits))
+        activation_total = mokey_stream_bits(
+            activation_values, activation_outlier_fraction, int(activation_bits)
+        )
+    else:
+        weight_total = weight_values * weight_bits
+        activation_total = activation_values * activation_bits
+
+    return FootprintBreakdown(
+        weight_bits=weight_total,
+        activation_bits=activation_total,
+        label=label or f"{config.name}/seq{sequence_length}",
+    )
+
+
+def method_footprint(
+    config: TransformerConfig,
+    sequence_length: int,
+    weight_bits: float,
+    activation_bits: float,
+    method: str = "",
+) -> FootprintBreakdown:
+    """Footprint of a quantization method described by its bit-widths.
+
+    This is the quantity behind Table IV's "Compression Ratio" column: the
+    total (weights + activations) footprint at the method's bit-widths,
+    compared against the FP32 baseline by the caller.
+    """
+    return model_memory_footprint(
+        config,
+        sequence_length,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+        label=method or f"{weight_bits}w/{activation_bits}a",
+    )

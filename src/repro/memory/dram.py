@@ -1,0 +1,65 @@
+"""Off-chip DRAM model (DRAMsim3 substitute).
+
+The paper simulates a DDR4-3200 dual-channel main memory with DRAMsim3.
+This analytical model captures the two quantities the evaluation depends
+on: transfer time (cycles at the accelerator clock) and transfer energy.
+Sequential streaming efficiency and a per-transaction overhead approximate
+the row-buffer behaviour of the cycle-accurate simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DDR4-3200 dual-channel main memory.
+
+    Attributes:
+        data_rate_mts: Transfer rate in mega-transfers per second per channel.
+        bus_bytes: Bytes per transfer per channel (64-bit bus).
+        channels: Number of channels.
+        streaming_efficiency: Fraction of peak bandwidth achieved for the
+            (mostly sequential) tensor streams.
+        energy_per_byte_pj: Average DRAM access + I/O energy per byte.
+        transaction_bytes: Minimum burst granularity.
+    """
+
+    data_rate_mts: float = 3200.0
+    bus_bytes: int = 8
+    channels: int = 2
+    streaming_efficiency: float = 0.55
+    energy_per_byte_pj: float = 120.0
+    transaction_bytes: int = 64
+
+    @property
+    def peak_bandwidth_bytes_per_second(self) -> float:
+        """Peak bandwidth across all channels."""
+        return self.data_rate_mts * 1e6 * self.bus_bytes * self.channels
+
+    @property
+    def effective_bandwidth_bytes_per_second(self) -> float:
+        """Bandwidth after the streaming-efficiency derating."""
+        return self.peak_bandwidth_bytes_per_second * self.streaming_efficiency
+
+    def bytes_per_cycle(self, clock_hz: float = 1e9) -> float:
+        """Effective bytes delivered per accelerator clock cycle."""
+        return self.effective_bandwidth_bytes_per_second / clock_hz
+
+    def transfer_bytes(self, requested_bytes: float) -> float:
+        """Bytes actually moved, rounded up to the burst granularity."""
+        if requested_bytes <= 0:
+            return 0.0
+        transactions = -(-requested_bytes // self.transaction_bytes)
+        return transactions * self.transaction_bytes
+
+    def transfer_cycles(self, requested_bytes: float, clock_hz: float = 1e9) -> float:
+        """Cycles (at the accelerator clock) to stream ``requested_bytes``."""
+        return self.transfer_bytes(requested_bytes) / self.bytes_per_cycle(clock_hz)
+
+    def transfer_energy_joules(self, requested_bytes: float) -> float:
+        """Energy to move ``requested_bytes`` to/from DRAM."""
+        return self.transfer_bytes(requested_bytes) * self.energy_per_byte_pj * 1e-12

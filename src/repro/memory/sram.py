@@ -1,0 +1,67 @@
+"""On-chip SRAM buffer model (CACTI substitute).
+
+Area and access energy follow simple capacity/interface-width scaling laws
+whose coefficients are calibrated against the buffer areas the paper
+reports in Table III (65 nm): a Tensor-Cores-style buffer with wide 16-bit
+value interfaces costs considerably more area than a Mokey buffer of equal
+capacity with 5-bit value interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SramBuffer"]
+
+# Calibration constants (65 nm, 1 GHz), fitted to the paper's Table III:
+#   Tensor Cores buffers (16-bit interface): 256KB=13.2, 512KB=16.8, 1MB=24.7 mm^2
+#   Mokey buffers        (5-bit interface):  256KB=4.7,  512KB=8.0,  1MB=14.6 mm^2
+_AREA_PER_MB_BASE = 11.5          # mm^2 per MB, width-independent part
+_AREA_PER_MB_PER_BIT = 0.24       # mm^2 per MB per interface bit
+_AREA_INTERFACE_PER_BIT = 0.58    # mm^2 per interface bit (banking/periphery)
+
+_READ_ENERGY_PJ_PER_BIT = 0.035   # per bit read at the bank interface
+_WRITE_ENERGY_PJ_PER_BIT = 0.045
+_LEAKAGE_W_PER_MB = 0.015
+
+
+@dataclass(frozen=True)
+class SramBuffer:
+    """An on-chip scratchpad buffer.
+
+    Attributes:
+        capacity_bytes: Usable capacity.
+        interface_bits: Bits per stored value at the datapath interface
+            (16 for FP16 designs, 5 for Mokey's on-chip encoding).
+    """
+
+    capacity_bytes: int
+    interface_bits: int = 16
+
+    @property
+    def capacity_mb(self) -> float:
+        return self.capacity_bytes / 2 ** 20
+
+    @property
+    def area_mm2(self) -> float:
+        """Estimated buffer area (banks + periphery + interconnect)."""
+        per_mb = _AREA_PER_MB_BASE + _AREA_PER_MB_PER_BIT * self.interface_bits
+        return self.capacity_mb * per_mb + _AREA_INTERFACE_PER_BIT * self.interface_bits
+
+    def read_energy_joules(self, bits: float) -> float:
+        """Energy to read ``bits`` from the buffer."""
+        return bits * _READ_ENERGY_PJ_PER_BIT * 1e-12
+
+    def write_energy_joules(self, bits: float) -> float:
+        """Energy to write ``bits`` into the buffer."""
+        return bits * _WRITE_ENERGY_PJ_PER_BIT * 1e-12
+
+    def leakage_energy_joules(self, seconds: float) -> float:
+        """Static leakage over an execution interval."""
+        return _LEAKAGE_W_PER_MB * self.capacity_mb * seconds
+
+    def effective_value_capacity(self, bits_per_value: float) -> int:
+        """How many values of ``bits_per_value`` bits fit in the buffer."""
+        if bits_per_value <= 0:
+            raise ValueError("bits_per_value must be positive")
+        return int(self.capacity_bytes * 8 // bits_per_value)

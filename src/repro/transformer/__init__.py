@@ -1,0 +1,20 @@
+"""NumPy transformer inference substrate.
+
+The paper evaluates Mokey on HuggingFace pre-trained FP16 transformer
+checkpoints.  Those checkpoints (and the GPUs used to run them) are not
+available in this environment, so this subpackage provides a forward-only
+transformer implementation plus a synthetic model zoo whose weight and
+activation *distributions* match what the paper relies on: bell-shaped
+(Gaussian) cores with a small fraction of large-magnitude outliers.
+"""
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model import TransformerModel
+from repro.transformer.profiling import ActivationProfiler, TensorStatistics
+
+__all__ = [
+    "TransformerConfig",
+    "TransformerModel",
+    "ActivationProfiler",
+    "TensorStatistics",
+]

@@ -1,0 +1,166 @@
+"""Transformer architecture configuration.
+
+The configuration mirrors the knobs of the BERT family used in the paper:
+BERT-Base (12 encoders, hidden 768), BERT-Large and RoBERTa-Large
+(24 encoders, hidden 1024) and DeBERTa-XL (48 encoders, hidden 1024).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyper-parameters for an encoder-only transformer.
+
+    Attributes:
+        name: Human-readable model name (e.g. ``"bert-base"``).
+        num_layers: Number of encoder blocks.
+        hidden_size: Model (embedding) dimension.
+        num_heads: Number of attention heads; must divide ``hidden_size``.
+        intermediate_size: Feed-forward inner dimension (usually 4x hidden).
+        vocab_size: Token vocabulary size.
+        max_position_embeddings: Maximum supported sequence length.
+        type_vocab_size: Number of segment (token-type) embeddings.
+        layer_norm_eps: Epsilon used by layer normalisation.
+        disentangled_attention: Whether the model uses DeBERTa-style
+            disentangled (content/position) attention.
+        dtype: NumPy dtype name used for parameters ("float32" or "float16").
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    intermediate_size: int
+    vocab_size: int = 30522
+    max_position_embeddings: int = 512
+    type_vocab_size: int = 2
+    layer_norm_eps: float = 1e-12
+    disentangled_attention: bool = False
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_heads ({self.num_heads})"
+            )
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.intermediate_size <= 0:
+            raise ValueError("intermediate_size must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension of queries, keys and values."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Bytes used to store one parameter or activation value."""
+        return 2 if self.dtype == "float16" else 4
+
+    def parameter_count(self) -> int:
+        """Total parameter count (weights + biases + embeddings).
+
+        The count follows the standard BERT layout: token/position/segment
+        embeddings, one embedding LayerNorm, and per encoder block the four
+        attention projections, two feed-forward projections and two
+        LayerNorms.
+        """
+        h = self.hidden_size
+        i = self.intermediate_size
+        embeddings = (
+            self.vocab_size * h
+            + self.max_position_embeddings * h
+            + self.type_vocab_size * h
+            + 2 * h  # embedding LayerNorm gamma + beta
+        )
+        per_layer = (
+            4 * (h * h + h)  # Q, K, V, attention-output projections
+            + (h * i + i)  # FFN up-projection
+            + (i * h + h)  # FFN down-projection
+            + 4 * h  # two LayerNorms (gamma + beta each)
+        )
+        if self.disentangled_attention:
+            # DeBERTa adds relative-position projection matrices per layer.
+            per_layer += 2 * (h * h)
+        return embeddings + self.num_layers * per_layer
+
+    def parameter_bytes(self) -> int:
+        """Parameter footprint in bytes at the configured dtype."""
+        return self.parameter_count() * self.bytes_per_value
+
+    def activation_values_per_layer(self, sequence_length: int) -> int:
+        """Number of activation values produced by one encoder block.
+
+        Counts the intermediate tensors a dataflow has to buffer when
+        executing one encoder block for a single input sequence: the
+        Q/K/V projections, the attention-probability matrix (which grows
+        quadratically with sequence length), the context output, the FFN
+        intermediate and the two residual streams.
+        """
+        s = sequence_length
+        h = self.hidden_size
+        i = self.intermediate_size
+        qkv = 3 * s * h
+        attention_scores = self.num_heads * s * s
+        context = s * h
+        attention_output = s * h
+        ffn_intermediate = s * i
+        ffn_output = s * h
+        return qkv + attention_scores + context + attention_output + ffn_intermediate + ffn_output
+
+    def activation_bytes_per_layer(self, sequence_length: int) -> int:
+        """Activation footprint of one encoder block in bytes."""
+        return self.activation_values_per_layer(sequence_length) * self.bytes_per_value
+
+    def activation_bytes(self, sequence_length: int) -> int:
+        """Total activation footprint across all encoder blocks in bytes."""
+        return self.num_layers * self.activation_bytes_per_layer(sequence_length)
+
+    def scaled(self, factor: int, name_suffix: str = "-sim") -> "TransformerConfig":
+        """Return a functionally equivalent config shrunk by ``factor``.
+
+        The full-size models of the paper (110M-750M parameters) are too
+        large to instantiate repeatedly as NumPy arrays in tests, so the
+        fidelity experiments run on architecture-preserving scaled models:
+        the hidden/intermediate sizes and vocabulary shrink while the layer
+        count and head structure are preserved as far as divisibility
+        allows.  The accelerator/footprint experiments always use the
+        full-size configuration analytically.
+        """
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        if factor == 1:
+            return self
+        hidden = max(self.num_heads, self.hidden_size // factor)
+        hidden -= hidden % self.num_heads
+        hidden = max(hidden, self.num_heads)
+        return replace(
+            self,
+            name=self.name + name_suffix,
+            hidden_size=hidden,
+            intermediate_size=max(4, self.intermediate_size // factor),
+            vocab_size=max(64, self.vocab_size // factor),
+            max_position_embeddings=min(self.max_position_embeddings, 512),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a plain-dict view of the configuration."""
+        return {
+            "name": self.name,
+            "num_layers": self.num_layers,
+            "hidden_size": self.hidden_size,
+            "num_heads": self.num_heads,
+            "intermediate_size": self.intermediate_size,
+            "vocab_size": self.vocab_size,
+            "max_position_embeddings": self.max_position_embeddings,
+            "type_vocab_size": self.type_vocab_size,
+            "layer_norm_eps": self.layer_norm_eps,
+            "disentangled_attention": self.disentangled_attention,
+            "dtype": self.dtype,
+        }

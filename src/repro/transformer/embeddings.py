@@ -1,0 +1,70 @@
+"""Input embeddings: token + position + segment, followed by LayerNorm."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.transformer.layers import ActivationTransform, Embedding, LayerNorm, Module
+
+
+class TransformerEmbeddings(Module):
+    """BERT-style input embedding block."""
+
+    def __init__(
+        self,
+        token: Embedding,
+        position: Embedding,
+        segment: Embedding,
+        norm: LayerNorm,
+    ) -> None:
+        self.token = token
+        self.position = position
+        self.segment = segment
+        self.norm = norm
+
+    def __call__(
+        self,
+        token_ids: np.ndarray,
+        segment_ids: Optional[np.ndarray] = None,
+        hook: Optional[ActivationTransform] = None,
+    ) -> np.ndarray:
+        """Embed ``(batch, seq)`` token ids into ``(batch, seq, hidden)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError("token_ids must have shape (batch, seq)")
+        batch, seq = token_ids.shape
+        if seq > self.position.num_embeddings:
+            raise ValueError(
+                f"sequence length {seq} exceeds max position embeddings "
+                f"{self.position.num_embeddings}"
+            )
+        if segment_ids is None:
+            segment_ids = np.zeros_like(token_ids)
+
+        position_ids = np.broadcast_to(np.arange(seq), (batch, seq))
+        embedded = self.token(token_ids) + self.position(position_ids) + self.segment(segment_ids)
+        embedded = self.norm(embedded)
+        if hook is not None:
+            embedded = hook("embeddings.output", embedded)
+        return embedded
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        yield "token.table", self.token.table
+        yield "position.table", self.position.table
+        yield "segment.table", self.segment.table
+        for name, value in self.norm.named_parameters():
+            yield f"norm.{name}", value
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        submodule, _, local = name.partition(".")
+        mapping = {
+            "token": self.token,
+            "position": self.position,
+            "segment": self.segment,
+            "norm": self.norm,
+        }
+        if submodule not in mapping:
+            raise KeyError(name)
+        mapping[submodule].set_parameter(local, value)

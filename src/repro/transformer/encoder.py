@@ -1,0 +1,116 @@
+"""Encoder block and encoder stack."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transformer.attention import MultiHeadSelfAttention
+from repro.transformer.layers import ActivationTransform, FeedForward, LayerNorm, Module
+
+
+class EncoderBlock(Module):
+    """One transformer encoder block.
+
+    Structure (post-LayerNorm, BERT-style)::
+
+        x -> self-attention -> +residual -> LayerNorm
+          -> feed-forward    -> +residual -> LayerNorm
+    """
+
+    def __init__(
+        self,
+        attention: MultiHeadSelfAttention,
+        attention_norm: LayerNorm,
+        ffn: FeedForward,
+        output_norm: LayerNorm,
+    ) -> None:
+        self.attention = attention
+        self.attention_norm = attention_norm
+        self.ffn = ffn
+        self.output_norm = output_norm
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        hook: Optional[ActivationTransform] = None,
+        prefix: str = "encoder.0",
+    ) -> np.ndarray:
+        attn_out = self.attention(
+            hidden_states,
+            attention_mask=attention_mask,
+            hook=hook,
+            prefix=f"{prefix}.attention",
+        )
+        hidden_states = self.attention_norm(hidden_states + attn_out)
+        if hook is not None:
+            hidden_states = hook(f"{prefix}.attention_norm", hidden_states)
+
+        ffn_out = self.ffn(hidden_states, hook=hook, prefix=f"{prefix}.ffn")
+        hidden_states = self.output_norm(hidden_states + ffn_out)
+        if hook is not None:
+            hidden_states = hook(f"{prefix}.output_norm", hidden_states)
+        return hidden_states
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self.attention.named_parameters():
+            yield f"attention.{name}", value
+        for name, value in self.attention_norm.named_parameters():
+            yield f"attention_norm.{name}", value
+        for name, value in self.ffn.named_parameters():
+            yield f"ffn.{name}", value
+        for name, value in self.output_norm.named_parameters():
+            yield f"output_norm.{name}", value
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        submodule, _, local = name.partition(".")
+        mapping = {
+            "attention": self.attention,
+            "attention_norm": self.attention_norm,
+            "ffn": self.ffn,
+            "output_norm": self.output_norm,
+        }
+        if submodule not in mapping:
+            raise KeyError(name)
+        mapping[submodule].set_parameter(local, value)
+
+
+class EncoderStack(Module):
+    """A sequence of encoder blocks applied one after another."""
+
+    def __init__(self, blocks: List[EncoderBlock]) -> None:
+        if not blocks:
+            raise ValueError("encoder stack requires at least one block")
+        self.blocks = blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        hook: Optional[ActivationTransform] = None,
+    ) -> np.ndarray:
+        for index, block in enumerate(self.blocks):
+            hidden_states = block(
+                hidden_states,
+                attention_mask=attention_mask,
+                hook=hook,
+                prefix=f"encoder.{index}",
+            )
+        return hidden_states
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        for index, block in enumerate(self.blocks):
+            for name, value in block.named_parameters():
+                yield f"encoder.{index}.{name}", value
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        parts = name.split(".", 2)
+        if len(parts) != 3 or parts[0] != "encoder":
+            raise KeyError(name)
+        index = int(parts[1])
+        self.blocks[index].set_parameter(parts[2], value)

@@ -1,0 +1,80 @@
+"""Elementwise and normalisation primitives used by the transformer.
+
+All functions are pure NumPy, forward-only, and operate on ``float32`` /
+``float64`` arrays.  They are also reused by the I-BERT baseline, which
+replaces them with integer polynomial approximations, so the exact
+reference behaviour matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gelu", "erf", "softmax", "layer_norm", "tanh_gelu", "relu"]
+
+# Coefficients of the Abramowitz & Stegun rational approximation of erf,
+# accurate to ~1.5e-7 which is far below FP16 resolution.
+_ERF_A1 = 0.254829592
+_ERF_A2 = -0.284496736
+_ERF_A3 = 1.421413741
+_ERF_A4 = -1.453152027
+_ERF_A5 = 1.061405429
+_ERF_P = 0.3275911
+
+
+def erf(x: np.ndarray) -> np.ndarray:
+    """Elementwise error function via a rational polynomial approximation."""
+    x = np.asarray(x)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + _ERF_P * ax)
+    poly = ((((_ERF_A5 * t + _ERF_A4) * t) + _ERF_A3) * t + _ERF_A2) * t + _ERF_A1
+    y = 1.0 - poly * t * np.exp(-ax * ax)
+    return sign * y
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit, the activation used by BERT-family FFNs."""
+    x = np.asarray(x)
+    return 0.5 * x * (1.0 + erf(x / np.sqrt(2.0)))
+
+
+def tanh_gelu(x: np.ndarray) -> np.ndarray:
+    """The tanh approximation of GELU (used by some checkpoints)."""
+    x = np.asarray(x)
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x), 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / np.sum(exp, axis=axis, keepdims=True)).astype(np.float32)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Layer normalisation over the last dimension.
+
+    Args:
+        x: Input of shape ``(..., hidden)``.
+        gamma: Scale vector of shape ``(hidden,)``.
+        beta: Shift vector of shape ``(hidden,)``.
+        eps: Stabilising epsilon added to the variance.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalised = (x - mean) / np.sqrt(var + eps)
+    return normalised * gamma + beta

@@ -1,0 +1,178 @@
+"""Forward-only neural network layers backed by NumPy.
+
+The layers deliberately mirror the structure of the BERT reference
+implementation (separate query/key/value projections, post-attention and
+post-FFN LayerNorms with residual connections) because Mokey's evaluation
+reasons about individual GEMMs of those exact shapes.
+
+Every layer exposes its parameters through ``named_parameters`` and emits
+its output activation through an optional hook, which is how the profiler
+(Section II, Step 2 of the paper) samples activation tensors, and how the
+model quantizer injects fake-quantization of activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transformer.functional import gelu, layer_norm
+
+ActivationTransform = Callable[[str, np.ndarray], np.ndarray]
+
+
+class Module:
+    """Minimal module base class: named parameters plus a forward call."""
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(name, array)`` pairs for every parameter of the module."""
+        raise NotImplementedError
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        """Replace a parameter identified by its local name."""
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine projection ``y = x @ W + b``.
+
+    Attributes:
+        weight: Array of shape ``(in_features, out_features)``.
+        bias: Array of shape ``(out_features,)``.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> None:
+        self.weight = np.asarray(weight, dtype=np.float32)
+        if self.weight.ndim != 2:
+            raise ValueError("Linear weight must be 2-D")
+        if bias is None:
+            bias = np.zeros(self.weight.shape[1], dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+        if self.bias.shape != (self.weight.shape[1],):
+            raise ValueError("bias shape does not match weight out_features")
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight + self.bias
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        yield "weight", self.weight
+        yield "bias", self.bias
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        if name == "weight":
+            if value.shape != self.weight.shape:
+                raise ValueError("weight shape mismatch")
+            self.weight = np.asarray(value, dtype=np.float32)
+        elif name == "bias":
+            if value.shape != self.bias.shape:
+                raise ValueError("bias shape mismatch")
+            self.bias = np.asarray(value, dtype=np.float32)
+        else:
+            raise KeyError(name)
+
+    def macs(self, rows: int) -> int:
+        """Multiply-accumulate count when applied to ``rows`` input rows."""
+        return rows * self.in_features * self.out_features
+
+
+class LayerNorm(Module):
+    """Layer normalisation with learned scale and shift."""
+
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-12) -> None:
+        self.gamma = np.asarray(gamma, dtype=np.float32)
+        self.beta = np.asarray(beta, dtype=np.float32)
+        if self.gamma.shape != self.beta.shape:
+            raise ValueError("gamma and beta must have the same shape")
+        self.eps = eps
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return layer_norm(x, self.gamma, self.beta, self.eps)
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        yield "gamma", self.gamma
+        yield "beta", self.beta
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        if name == "gamma":
+            self.gamma = np.asarray(value, dtype=np.float32)
+        elif name == "beta":
+            self.beta = np.asarray(value, dtype=np.float32)
+        else:
+            raise KeyError(name)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, table: np.ndarray) -> None:
+        self.table = np.asarray(table, dtype=np.float32)
+        if self.table.ndim != 2:
+            raise ValueError("embedding table must be 2-D")
+
+    @property
+    def num_embeddings(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.table.shape[1]
+
+    def __call__(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError("embedding id out of range")
+        return self.table[ids]
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        yield "table", self.table
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        if name != "table":
+            raise KeyError(name)
+        self.table = np.asarray(value, dtype=np.float32)
+
+
+class FeedForward(Module):
+    """The position-wise feed-forward block: Linear -> GELU -> Linear."""
+
+    def __init__(self, intermediate: Linear, output: Linear) -> None:
+        self.intermediate = intermediate
+        self.output = output
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        hook: Optional[ActivationTransform] = None,
+        prefix: str = "ffn",
+    ) -> np.ndarray:
+        hidden = gelu(self.intermediate(x))
+        if hook is not None:
+            hidden = hook(f"{prefix}.intermediate", hidden)
+        out = self.output(hidden)
+        if hook is not None:
+            out = hook(f"{prefix}.output", out)
+        return out
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self.intermediate.named_parameters():
+            yield f"intermediate.{name}", value
+        for name, value in self.output.named_parameters():
+            yield f"output.{name}", value
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        submodule, _, local = name.partition(".")
+        if submodule == "intermediate":
+            self.intermediate.set_parameter(local, value)
+        elif submodule == "output":
+            self.output.set_parameter(local, value)
+        else:
+            raise KeyError(name)

@@ -1,0 +1,156 @@
+"""End-to-end encoder-only transformer model with task heads.
+
+The model supports the three task families the paper evaluates on:
+
+* ``"classification"`` — sequence classification (MNLI-like, 3 classes),
+* ``"regression"`` — sentence-pair similarity (STS-B-like, scalar output),
+* ``"qa"`` — extractive question answering (SQuAD-like, start/end logits).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.embeddings import TransformerEmbeddings
+from repro.transformer.encoder import EncoderStack
+from repro.transformer.layers import ActivationTransform, Linear, Module
+
+TASK_HEADS = ("classification", "regression", "qa")
+
+
+class TransformerModel(Module):
+    """A forward-only transformer with a task head.
+
+    Attributes:
+        config: Architecture configuration.
+        embeddings: Input embedding block.
+        encoder: Stack of encoder blocks.
+        pooler: Dense projection applied to the [CLS] position.
+        head: Task head projection.
+        task: One of ``classification``, ``regression`` or ``qa``.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        embeddings: TransformerEmbeddings,
+        encoder: EncoderStack,
+        pooler: Linear,
+        head: Linear,
+        task: str = "classification",
+    ) -> None:
+        if task not in TASK_HEADS:
+            raise ValueError(f"task must be one of {TASK_HEADS}, got {task!r}")
+        self.config = config
+        self.embeddings = embeddings
+        self.encoder = encoder
+        self.pooler = pooler
+        self.head = head
+        self.task = task
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def encode(
+        self,
+        token_ids: np.ndarray,
+        segment_ids: Optional[np.ndarray] = None,
+        attention_mask: Optional[np.ndarray] = None,
+        hook: Optional[ActivationTransform] = None,
+    ) -> np.ndarray:
+        """Run embeddings + encoder stack, returning the final hidden states."""
+        hidden = self.embeddings(token_ids, segment_ids=segment_ids, hook=hook)
+        return self.encoder(hidden, attention_mask=attention_mask, hook=hook)
+
+    def __call__(
+        self,
+        token_ids: np.ndarray,
+        segment_ids: Optional[np.ndarray] = None,
+        attention_mask: Optional[np.ndarray] = None,
+        hook: Optional[ActivationTransform] = None,
+    ) -> np.ndarray:
+        """Run the full model and return the task-head output.
+
+        Returns:
+            ``(batch, num_classes)`` logits for classification,
+            ``(batch,)`` scores for regression, or
+            ``(batch, seq, 2)`` start/end logits for QA.
+        """
+        hidden = self.encode(
+            token_ids,
+            segment_ids=segment_ids,
+            attention_mask=attention_mask,
+            hook=hook,
+        )
+        if self.task == "qa":
+            logits = self.head(hidden)
+            if hook is not None:
+                logits = hook("head.output", logits)
+            return logits
+
+        cls = hidden[:, 0, :]
+        pooled = np.tanh(self.pooler(cls))
+        if hook is not None:
+            pooled = hook("pooler.output", pooled)
+        logits = self.head(pooled)
+        if hook is not None:
+            logits = hook("head.output", logits)
+        if self.task == "regression":
+            return logits[:, 0]
+        return logits
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self.embeddings.named_parameters():
+            yield f"embeddings.{name}", value
+        for name, value in self.encoder.named_parameters():
+            yield name, value
+        for name, value in self.pooler.named_parameters():
+            yield f"pooler.{name}", value
+        for name, value in self.head.named_parameters():
+            yield f"head.{name}", value
+
+    def set_parameter(self, name: str, value: np.ndarray) -> None:
+        if name.startswith("embeddings."):
+            self.embeddings.set_parameter(name[len("embeddings."):], value)
+        elif name.startswith("encoder."):
+            self.encoder.set_parameter(name, value)
+        elif name.startswith("pooler."):
+            self.pooler.set_parameter(name[len("pooler."):], value)
+        elif name.startswith("head."):
+            self.head.set_parameter(name[len("head."):], value)
+        else:
+            raise KeyError(name)
+
+    def parameter_dict(self) -> Dict[str, np.ndarray]:
+        """All parameters as a name->array dictionary."""
+        return dict(self.named_parameters())
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters actually instantiated."""
+        return sum(value.size for _, value in self.named_parameters())
+
+    def weight_matrices(self) -> Dict[str, np.ndarray]:
+        """The 2-D weight matrices Mokey quantizes (excludes biases/norms).
+
+        Embedding tables are included because the paper quantizes
+        "parameters (weights, embeddings)".
+        """
+        selected: Dict[str, np.ndarray] = {}
+        for name, value in self.named_parameters():
+            if value.ndim < 2:
+                continue
+            if name.endswith((".gamma", ".beta", ".bias")):
+                continue
+            selected[name] = value
+        return selected
+
+    def copy(self) -> "TransformerModel":
+        """Deep copy of the model (used to build quantized twins)."""
+        return _copy.deepcopy(self)

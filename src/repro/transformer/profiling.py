@@ -1,0 +1,148 @@
+"""Activation profiling (paper Section II, Step 2).
+
+Mokey derives each activation tensor's dictionary from its mean and
+standard deviation, estimated by running the model over a single randomly
+selected batch of ~8 inputs.  This module implements that profiling run:
+it records per-tensor statistics for every named activation the model
+emits and for every weight tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.transformer.model import TransformerModel
+from repro.transformer.tasks import SyntheticDataset
+
+__all__ = ["TensorStatistics", "ActivationProfiler", "profile_weights"]
+
+
+@dataclass
+class TensorStatistics:
+    """Streaming summary statistics of a (possibly huge) tensor.
+
+    The statistics are exactly what per-tensor dictionary generation needs:
+    mean, standard deviation, min/max (for the fixed-point ``frac`` bits of
+    Eq. 7) and the value count.
+    """
+
+    name: str
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a new batch of values into the running statistics."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        batch_count = values.size
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+
+        # Chan et al. parallel variance combination.
+        total = self.count + batch_count
+        delta = batch_mean - self.mean
+        self.m2 += batch_m2 + delta ** 2 * self.count * batch_count / total
+        self.mean += delta * batch_count / total
+        self.count = total
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of all folded values."""
+        if self.count < 2:
+            return 0.0
+        return float(np.sqrt(self.m2 / self.count))
+
+    @property
+    def value_range(self) -> float:
+        """max - min of the observed values."""
+        if self.count == 0:
+            return 0.0
+        return self.maximum - self.minimum
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class ActivationProfiler:
+    """Collects per-activation-tensor statistics over a profiling batch.
+
+    Use as the ``hook`` argument of a model forward pass: the profiler
+    records statistics and returns the activation unchanged, so profiling
+    never perturbs the model output.
+    """
+
+    def __init__(self) -> None:
+        self.statistics: Dict[str, TensorStatistics] = {}
+
+    def __call__(self, name: str, array: np.ndarray) -> np.ndarray:
+        stats = self.statistics.get(name)
+        if stats is None:
+            stats = TensorStatistics(name=name)
+            self.statistics[name] = stats
+        stats.update(array)
+        return array
+
+    def names(self) -> List[str]:
+        """Names of every activation tensor observed so far."""
+        return list(self.statistics.keys())
+
+    def __getitem__(self, name: str) -> TensorStatistics:
+        return self.statistics[name]
+
+    def __len__(self) -> int:
+        return len(self.statistics)
+
+    def profile(
+        self,
+        model: TransformerModel,
+        dataset: SyntheticDataset,
+        num_samples: int = 8,
+        batch_size: int = 8,
+    ) -> Dict[str, TensorStatistics]:
+        """Run the paper's profiling pass over ``num_samples`` inputs.
+
+        Args:
+            model: The FP model to profile.
+            dataset: Pool of profiling inputs (labels are not needed).
+            num_samples: How many inputs to profile over; the paper uses a
+                single batch of 8 and notes fewer also works.
+            batch_size: Forward-pass batch size.
+
+        Returns:
+            Mapping from activation tensor name to its statistics.
+        """
+        num_samples = min(num_samples, dataset.num_samples)
+        for start in range(0, num_samples, batch_size):
+            end = min(start + batch_size, num_samples)
+            model(
+                dataset.token_ids[start:end],
+                segment_ids=dataset.segment_ids[start:end],
+                attention_mask=dataset.attention_mask[start:end],
+                hook=self,
+            )
+        return self.statistics
+
+
+def profile_weights(model: TransformerModel) -> Dict[str, TensorStatistics]:
+    """Compute the (exact) statistics of every quantizable weight tensor."""
+    results: Dict[str, TensorStatistics] = {}
+    for name, array in model.weight_matrices().items():
+        stats = TensorStatistics(name=name)
+        stats.update(array)
+        results[name] = stats
+    return results

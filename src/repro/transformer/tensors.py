@@ -1,0 +1,113 @@
+"""Named tensor bookkeeping used by profiling and quantization.
+
+Mokey quantizes *per tensor*: each weight matrix and each activation tensor
+gets its own scaled dictionary.  To make that explicit, the transformer
+exposes its parameters and intermediate activations through a small named
+registry so the quantizer and the profiler can address them uniformly
+(e.g. ``"encoder.3.attention.query.weight"`` or
+``"encoder.3.ffn.intermediate"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class NamedTensor:
+    """A tensor together with its hierarchical name and role.
+
+    Attributes:
+        name: Dotted path identifying the tensor within the model.
+        array: The tensor values.
+        role: Either ``"weight"`` (statically known parameter),
+            ``"bias"`` or ``"activation"`` (runtime computed).
+    """
+
+    name: str
+    array: np.ndarray
+    role: str = "weight"
+
+    def __post_init__(self) -> None:
+        if self.role not in {"weight", "bias", "activation", "embedding"}:
+            raise ValueError(f"unknown tensor role: {self.role!r}")
+
+    @property
+    def size(self) -> int:
+        """Number of scalar values in the tensor."""
+        return int(self.array.size)
+
+
+class TensorRegistry:
+    """Ordered mapping of tensor names to :class:`NamedTensor` entries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, NamedTensor] = {}
+
+    def register(self, name: str, array: np.ndarray, role: str = "weight") -> NamedTensor:
+        """Register a tensor; re-registering a name overwrites its array."""
+        entry = NamedTensor(name=name, array=array, role=role)
+        self._entries[name] = entry
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __getitem__(self, name: str) -> NamedTensor:
+        return self._entries[name]
+
+    def __iter__(self) -> Iterator[NamedTensor]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> List[str]:
+        """All registered names in registration order."""
+        return list(self._entries.keys())
+
+    def by_role(self, role: str) -> List[NamedTensor]:
+        """All entries with a given role, in registration order."""
+        return [entry for entry in self._entries.values() if entry.role == role]
+
+    def total_values(self, role: Optional[str] = None) -> int:
+        """Total number of scalar values, optionally restricted to a role."""
+        entries = self.by_role(role) if role else list(self._entries.values())
+        return sum(entry.size for entry in entries)
+
+
+# Type of the callback the model invokes for every intermediate activation:
+# ``hook(name, array)``.
+ActivationHook = Callable[[str, np.ndarray], None]
+
+
+class ActivationRecorder:
+    """Collects intermediate activations emitted by a model forward pass.
+
+    The recorder can optionally subsample large activations to bound memory
+    use, which matches the paper's observation that a handful of profiling
+    samples suffices to estimate per-tensor statistics.
+    """
+
+    def __init__(self, max_values_per_tensor: Optional[int] = None, seed: int = 0) -> None:
+        self._max_values = max_values_per_tensor
+        self._rng = np.random.default_rng(seed)
+        self.records: Dict[str, List[np.ndarray]] = {}
+
+    def __call__(self, name: str, array: np.ndarray) -> None:
+        flat = np.asarray(array, dtype=np.float32).ravel()
+        if self._max_values is not None and flat.size > self._max_values:
+            idx = self._rng.choice(flat.size, size=self._max_values, replace=False)
+            flat = flat[idx]
+        self.records.setdefault(name, []).append(flat)
+
+    def concatenated(self) -> Dict[str, np.ndarray]:
+        """Return all recorded samples concatenated per tensor name."""
+        return {name: np.concatenate(chunks) for name, chunks in self.records.items()}
+
+    def names(self) -> List[str]:
+        """Names of all activations seen so far."""
+        return list(self.records.keys())

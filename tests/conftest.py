@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+The Golden Dictionary generation over 50,000 samples takes a few seconds,
+so the suite shares smaller (but structurally identical) session-scoped
+fixtures: a reduced-sample Golden Dictionary, a small transformer model
+and a matching synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.golden_dictionary import GoldenDictionary, generate_golden_dictionary
+from repro.core.quantizer import MokeyQuantizer
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model_zoo import build_model
+from repro.transformer.tasks import generate_inputs, label_with_model
+
+
+@pytest.fixture(scope="session")
+def golden() -> GoldenDictionary:
+    """A Golden Dictionary generated from a reduced sample count."""
+    return generate_golden_dictionary(num_samples=8000, num_repeats=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def quantizer(golden) -> MokeyQuantizer:
+    return MokeyQuantizer(golden)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> TransformerConfig:
+    """A very small but structurally complete transformer configuration."""
+    return TransformerConfig(
+        name="tiny",
+        num_layers=2,
+        hidden_size=32,
+        num_heads=4,
+        intermediate_size=64,
+        vocab_size=128,
+        max_position_embeddings=64,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config):
+    return build_model(tiny_config, task="classification", seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_model, tiny_config):
+    """A labelled classification dataset for the tiny model."""
+    inputs = generate_inputs(
+        vocab_size=tiny_config.vocab_size,
+        sequence_length=16,
+        num_samples=24,
+        task="classification",
+        seed=11,
+    )
+    return label_with_model(tiny_model, inputs)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

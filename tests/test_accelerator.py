@@ -1,0 +1,262 @@
+"""Tests for the accelerator models: workloads, dataflow, simulator, designs."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.compression_modes import CompressionMode, tensor_cores_with_mokey_compression
+from repro.accelerator.dataflow import activation_working_set_bits, plan_layer
+from repro.accelerator.designs import AcceleratorDesign
+from repro.accelerator.gobo_accel import gobo_design
+from repro.accelerator.mokey_accel import mokey_design
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.tensor_cores import tensor_cores_design
+from repro.accelerator.workloads import (
+    TASK_SEQUENCE_LENGTHS,
+    encoder_gemms,
+    model_workload,
+    paper_workloads,
+)
+from repro.transformer.model_zoo import bert_base
+
+KB = 1024
+MB = 1024 * 1024
+BUFFERS = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+
+
+class TestWorkloads:
+    def test_encoder_gemm_macs_match_analytic_count(self):
+        cfg = bert_base()
+        seq = 128
+        gemms = encoder_gemms(cfg, seq)
+        macs = sum(g.macs for g in gemms)
+        h, i, heads, hd = cfg.hidden_size, cfg.intermediate_size, cfg.num_heads, cfg.head_dim
+        expected = (
+            4 * seq * h * h              # QKV + output projections
+            + 2 * heads * seq * seq * hd  # scores + context
+            + 2 * seq * h * i             # FFN up + down
+        )
+        assert macs == expected
+
+    def test_attention_gemms_not_weight_static(self):
+        gemms = encoder_gemms(bert_base(), 128)
+        by_name = {g.name: g for g in gemms}
+        assert not by_name["attention.scores"].weight_static
+        assert not by_name["attention.context"].weight_static
+        assert by_name["ffn.intermediate"].weight_static
+
+    def test_squad_uses_longer_sequences(self):
+        assert TASK_SEQUENCE_LENGTHS["squad"] > TASK_SEQUENCE_LENGTHS["mnli"]
+        wl = model_workload("bert-large", "squad")
+        assert wl.sequence_length == 384
+
+    def test_total_macs_scale_with_layers(self):
+        base = model_workload("bert-base", "mnli")
+        large = model_workload("bert-large", "mnli")
+        assert large.total_macs > 2 * base.total_macs
+
+    def test_deberta_has_extra_gemms(self):
+        deberta = model_workload("deberta-xl", "mnli")
+        bert = model_workload("bert-large", "mnli")
+        assert len(deberta.layer_gemms) > len(bert.layer_gemms)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_workload("albert-xxl")
+
+    def test_paper_workloads_count(self):
+        assert len(paper_workloads()) == 8
+
+
+class TestDataflow:
+    def test_more_buffer_never_increases_traffic(self):
+        wl = model_workload("bert-large", "squad")
+        design = tensor_cores_design()
+        traffic = [plan_layer(wl, design, size).total_bytes for size in BUFFERS]
+        assert all(a >= b - 1e-6 for a, b in zip(traffic, traffic[1:]))
+
+    def test_quantized_design_moves_less_data(self):
+        wl = model_workload("bert-base", "mnli")
+        for size in BUFFERS:
+            tc = plan_layer(wl, tensor_cores_design(), size).total_bytes
+            mk = plan_layer(wl, mokey_design(), size).total_bytes
+            assert mk < tc / 2.0
+
+    def test_weight_traffic_at_least_model_size(self):
+        wl = model_workload("bert-base", "mnli")
+        design = tensor_cores_design()
+        plan = plan_layer(wl, design, 4 * MB)
+        layer_weight_bytes = sum(
+            g.weight_values * 2 for g in wl.layer_gemms if g.weight_static
+        )
+        assert plan.weight_bytes >= layer_weight_bytes * 0.99
+
+    def test_activation_residency_with_huge_buffer(self):
+        wl = model_workload("bert-base", "mnli")
+        plan = plan_layer(wl, mokey_design(), 64 * MB)
+        assert plan.activations_resident
+        assert plan.activation_bytes == 0.0
+
+    def test_working_set_scales_with_bits(self):
+        wl = model_workload("bert-base", "mnli")
+        assert activation_working_set_bits(wl, 16) > 3 * activation_working_set_bits(wl, 5)
+
+
+class TestDesigns:
+    def test_invalid_datapath_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorDesign(name="x", datapath="tpu", num_units=8, unit_area_mm2=0.01)
+
+    def test_compute_areas_match_table_ii(self):
+        assert tensor_cores_design().compute_area_mm2 == pytest.approx(16.1, abs=0.2)
+        assert gobo_design().compute_area_mm2 == pytest.approx(15.9, abs=0.2)
+        assert mokey_design().compute_area_mm2 == pytest.approx(14.8, abs=0.2)
+
+    def test_mokey_pe_39_percent_smaller_than_tensor_core_unit(self):
+        tc = tensor_cores_design()
+        mk = mokey_design()
+        ratio = mk.unit_area_mm2 / tc.unit_area_mm2
+        assert ratio == pytest.approx(0.61, abs=0.05)
+
+    def test_with_buffer_bits_variant(self):
+        design = tensor_cores_design().with_buffer_bits(
+            weight_bits_offchip=4.4, name="compressed", decompression_lut=True
+        )
+        assert design.weight_bits_offchip == 4.4
+        assert design.decompression_lut
+        assert design.name == "compressed"
+        # original untouched (frozen dataclass semantics)
+        assert tensor_cores_design().weight_bits_offchip == 16.0
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def sims(self):
+        return (
+            AcceleratorSimulator(tensor_cores_design()),
+            AcceleratorSimulator(gobo_design()),
+            AcceleratorSimulator(mokey_design()),
+        )
+
+    def test_mokey_faster_than_tensor_cores_everywhere(self, sims):
+        tc, _, mk = sims
+        for wl in paper_workloads():
+            for size in (256 * KB, 4 * MB):
+                r_tc = tc.simulate(wl, size)
+                r_mk = mk.simulate(wl, size)
+                assert r_mk.speedup_over(r_tc) > 1.0, (wl.name, size)
+
+    def test_mokey_more_energy_efficient_than_tensor_cores(self, sims):
+        tc, _, mk = sims
+        for wl in paper_workloads():
+            r_tc = tc.simulate(wl, 512 * KB)
+            r_mk = mk.simulate(wl, 512 * KB)
+            assert r_mk.energy_efficiency_over(r_tc) > 1.5, wl.name
+
+    def test_mokey_at_least_as_fast_as_gobo(self, sims):
+        _, gb, mk = sims
+        for wl in paper_workloads():
+            for size in (256 * KB, 4 * MB):
+                r_gb = gb.simulate(wl, size)
+                r_mk = mk.simulate(wl, size)
+                assert r_mk.speedup_over(r_gb) >= 0.95, (wl.name, size)
+
+    def test_speedup_shrinks_with_larger_buffers(self, sims):
+        tc, _, mk = sims
+        wl = model_workload("bert-base", "mnli")
+        speedups = []
+        for size in BUFFERS:
+            speedups.append(mk.simulate(wl, size).speedup_over(tc.simulate(wl, size)))
+        assert speedups[0] > speedups[-1]
+
+    def test_larger_buffers_never_slower(self, sims):
+        tc, _, _ = sims
+        wl = model_workload("bert-large", "squad")
+        cycles = [tc.simulate(wl, size).total_cycles for size in BUFFERS]
+        assert all(a >= b - 1e-6 for a, b in zip(cycles, cycles[1:]))
+
+    def test_table_ii_cycle_ordering(self, sims):
+        tc, gb, mk = sims
+        wl = model_workload("bert-base", "mnli")
+        r_tc, r_gb, r_mk = (s.simulate(wl, 512 * KB) for s in (tc, gb, mk))
+        assert r_tc.total_cycles > r_gb.total_cycles > r_mk.total_cycles
+        assert r_tc.energy.total > r_gb.energy.total > r_mk.energy.total
+
+    def test_energy_breakdown_components_positive(self, sims):
+        tc, _, _ = sims
+        result = tc.simulate(model_workload("bert-base", "mnli"), 512 * KB)
+        assert result.energy.dram > 0
+        assert result.energy.sram > 0
+        assert result.energy.compute > 0
+        assert result.energy.total == pytest.approx(
+            result.energy.dram + result.energy.sram + result.energy.compute
+        )
+
+    def test_overlap_fraction_bounded(self, sims):
+        tc, _, mk = sims
+        for sim in (tc, mk):
+            result = sim.simulate(model_workload("bert-large", "squad"), 256 * KB)
+            assert 0.0 <= result.overlap_fraction <= 1.0
+
+    def test_mokey_chip_area_smaller_than_tensor_cores(self, sims):
+        tc, _, mk = sims
+        wl = model_workload("bert-large", "squad")
+        for size in (256 * KB, 1 * MB):
+            assert mk.simulate(wl, size).area.total < tc.simulate(wl, size).area.total
+
+    def test_sweep_buffers_helper(self, sims):
+        tc, _, _ = sims
+        results = tc.sweep_buffers(model_workload("bert-base", "mnli"), BUFFERS)
+        assert set(results) == set(BUFFERS)
+
+    def test_squad_benefits_more_than_mnli_at_small_buffers(self, sims):
+        """Longer sequences (larger activations) gain more from Mokey."""
+        tc, _, mk = sims
+        mnli = model_workload("bert-large", "mnli")
+        squad = model_workload("bert-large", "squad")
+        size = 256 * KB
+        speedup_mnli = mk.simulate(mnli, size).speedup_over(tc.simulate(mnli, size))
+        speedup_squad = mk.simulate(squad, size).speedup_over(tc.simulate(squad, size))
+        assert speedup_squad >= speedup_mnli * 0.9
+
+
+class TestCompressionModes:
+    def test_mode_none_returns_baseline(self):
+        assert tensor_cores_with_mokey_compression(CompressionMode.NONE).name == "tensor-cores"
+
+    def test_oc_compresses_offchip_only(self):
+        design = tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP)
+        assert design.weight_bits_offchip < 16
+        assert design.weight_bits_onchip == 16
+
+    def test_ocon_compresses_both(self):
+        design = tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP_AND_ON_CHIP)
+        assert design.weight_bits_onchip == 5.0
+        assert design.buffer_interface_bits == 5
+
+    def test_compression_speeds_up_baseline(self):
+        wl = model_workload("bert-large", "squad")
+        base = AcceleratorSimulator(tensor_cores_design())
+        for mode in (CompressionMode.OFF_CHIP, CompressionMode.OFF_CHIP_AND_ON_CHIP):
+            sim = AcceleratorSimulator(tensor_cores_with_mokey_compression(mode))
+            for size in (256 * KB, 4 * MB):
+                speedup = sim.simulate(wl, size).speedup_over(base.simulate(wl, size))
+                assert speedup > 1.0, (mode, size)
+
+    def test_onchip_compression_helps_most_at_small_buffers(self):
+        wl = model_workload("bert-large", "squad")
+        base = AcceleratorSimulator(tensor_cores_design())
+        oc = AcceleratorSimulator(tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP))
+        ocon = AcceleratorSimulator(
+            tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP_AND_ON_CHIP)
+        )
+        size = 256 * KB
+        base_result = base.simulate(wl, size)
+        speedup_oc = oc.simulate(wl, size).speedup_over(base_result)
+        speedup_ocon = ocon.simulate(wl, size).speedup_over(base_result)
+        assert speedup_ocon >= speedup_oc
+
+    def test_compression_improves_energy(self):
+        wl = model_workload("bert-base", "mnli")
+        base = AcceleratorSimulator(tensor_cores_design())
+        oc = AcceleratorSimulator(tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP))
+        assert oc.simulate(wl, 256 * KB).energy_efficiency_over(base.simulate(wl, 256 * KB)) > 1.0

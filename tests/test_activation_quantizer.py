@@ -1,0 +1,66 @@
+"""Tests for the output-activation quantizer (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.activation_quantizer import OutputActivationQuantizer
+
+
+class TestOutputQuantizer:
+    def test_functional_equivalence_with_dictionary_encode(self, quantizer, rng):
+        values = rng.normal(1.0, 2.0, 512)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        quantized, _ = unit.quantize(values)
+        direct = dictionary.encode(dictionary.fixed_point.quantize(values))
+        assert np.array_equal(quantized.encoded.gaussian_index, direct.gaussian_index)
+        assert np.array_equal(quantized.encoded.is_outlier, direct.is_outlier)
+
+    def test_nearest_centroid_property(self, quantizer, rng):
+        """Every reconstructed value is the nearest centroid to its input."""
+        values = rng.normal(0.0, 1.5, 300)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        quantized, _ = unit.quantize(values)
+        recon = quantized.dequantize()
+        centroids = dictionary.all_centroids()
+        for v, r in zip(dictionary.fixed_point.quantize(values), recon):
+            best = centroids[np.argmin(np.abs(centroids - v))]
+            assert abs(r - v) <= abs(best - v) + 2 * dictionary.fixed_point.scale
+
+    def test_comparator_count_matches_dictionary_size(self, quantizer, rng):
+        values = rng.normal(0, 1, 100)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        assert unit.num_comparators == dictionary.all_centroids().size
+
+    def test_stats_scale_with_values(self, quantizer, rng):
+        values = rng.normal(0, 1, 256)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        _, stats = unit.quantize(values)
+        assert stats.values == 256
+        assert stats.comparisons == 256 * (unit.num_comparators + 1)
+        assert stats.subtractions == 512
+
+    def test_stats_merge(self, quantizer, rng):
+        values = rng.normal(0, 1, 64)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        _, s1 = unit.quantize(values)
+        _, s2 = unit.quantize(values)
+        s1.merge(s2)
+        assert s1.values == 128
+
+    def test_round_trip_error_reasonable(self, quantizer, rng):
+        values = rng.normal(2.0, 3.0, 2048)
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        assert unit.round_trip_error(values) < 0.35 * np.abs(values).mean() + 0.2
+
+    def test_preserves_shape(self, quantizer, rng):
+        values = rng.normal(0, 1, (4, 8, 16))
+        dictionary = quantizer.fit_dictionary("out", values)
+        unit = OutputActivationQuantizer(dictionary)
+        quantized, _ = unit.quantize(values)
+        assert quantized.dequantize().shape == (4, 8, 16)

@@ -1,0 +1,56 @@
+"""Tests for the analysis helpers (footprint study, report formatting)."""
+
+import pytest
+
+from repro.analysis.footprint import footprint_vs_sequence_length
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFootprintStudy:
+    def test_figure_one_shape(self):
+        """Fig. 1: activations overtake weights as sequences grow."""
+        series = footprint_vs_sequence_length("bert-large", (128, 256, 512, 1024, 2048))
+        assert len(series) == 5
+        weights = [point.weight_mb for point in series]
+        activations = [point.activation_mb for point in series]
+        # Weights are constant across sequence lengths...
+        assert max(weights) == pytest.approx(min(weights))
+        # ... activations grow monotonically ...
+        assert all(a < b for a, b in zip(activations, activations[1:]))
+        # ... and dominate at 1024+ tokens while weights dominate at 128.
+        assert series[0].activation_share < 0.5
+        assert series[-1].activation_share > 0.6
+
+    def test_total_footprint_magnitude(self):
+        """BERT-Large FP16 weights are roughly 600-700 MB."""
+        series = footprint_vs_sequence_length("bert-large", (128,))
+        assert 500 < series[0].weight_mb < 800
+
+    def test_custom_config(self, tiny_config):
+        series = footprint_vs_sequence_length(config=tiny_config, sequence_lengths=(16, 32))
+        assert len(series) == 2
+        assert series[0].total_mb > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "bb" in lines[3]
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        text = format_series("speedup", {256: 5.0, 512: 4.0}, unit="x")
+        assert "speedup:" in text
+        assert "256: 5 x" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [12345.0], [1.5]])
+        assert "1.230e-04" in text
+        assert "1.234e+04" in text or "12345" in text
+        assert "1.5" in text

@@ -1,0 +1,133 @@
+"""Tests for the baseline quantization methods of Table IV."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    GoboQuantizer,
+    IBertQuantizer,
+    Q8BertQuantizer,
+    QBertQuantizer,
+    TernaryBertQuantizer,
+)
+from repro.baselines.base import uniform_symmetric_quantize
+from repro.baselines.gobo import gobo_quantize_tensor
+from repro.baselines.ibert import i_erf, i_gelu
+from repro.baselines.qbert import groupwise_quantize
+from repro.baselines.ternarybert import ternarize
+from repro.transformer.functional import erf, gelu
+from repro.transformer.tasks import evaluate
+
+
+class TestPrimitives:
+    def test_uniform_symmetric_quantize_error_bound(self, rng):
+        values = rng.normal(0, 1, 1000)
+        recon, scale = uniform_symmetric_quantize(values, 8)
+        assert np.max(np.abs(recon - values)) <= scale / 2 + 1e-9
+
+    def test_uniform_symmetric_level_count(self, rng):
+        values = rng.uniform(-1, 1, 10_000)
+        recon, _ = uniform_symmetric_quantize(values, 4)
+        assert np.unique(recon).size <= 16
+
+    def test_uniform_rejects_single_bit(self):
+        with pytest.raises(ValueError):
+            uniform_symmetric_quantize(np.ones(4), 1)
+
+    def test_groupwise_quantize_per_group_ranges(self, rng):
+        # Two groups with very different ranges: group-wise quantization keeps
+        # the small-range group precise.
+        small = rng.normal(0, 0.01, 128)
+        large = rng.normal(0, 10.0, 128)
+        values = np.concatenate([small, large])
+        recon = groupwise_quantize(values, 4, num_groups=2)
+        small_err = np.abs(recon[:128] - small).max()
+        assert small_err < 0.01
+
+    def test_ternarize_three_levels(self, rng):
+        values = rng.normal(0, 1, 1000)
+        recon, threshold, scale = ternarize(values)
+        assert np.unique(recon).size <= 3
+        assert threshold > 0
+        assert scale > 0
+
+    def test_gobo_quantize_tensor_reconstructs_outliers_exactly(self, rng):
+        values = rng.normal(0, 0.02, 5000)
+        values[:10] = 0.5
+        recon, fraction, bits = gobo_quantize_tensor(values)
+        assert fraction > 0
+        assert np.allclose(recon[:10], 0.5)
+        assert bits < values.size * 32
+
+    def test_igelu_close_to_gelu(self, rng):
+        x = rng.uniform(-4, 4, 1000)
+        assert np.max(np.abs(i_gelu(x) - gelu(x))) < 0.03
+
+    def test_ierf_close_to_erf(self, rng):
+        # The I-BERT polynomial trades accuracy of erf itself (worst ~0.1 for
+        # small inputs) for accuracy of GELU after the x/2 damping, which is
+        # what test_igelu_close_to_gelu checks tightly.
+        x = rng.uniform(-3, 3, 1000)
+        assert np.max(np.abs(i_erf(x) - erf(x))) < 0.11
+
+
+class TestMethodProperties:
+    def test_table_iv_bit_widths(self):
+        assert Q8BertQuantizer().properties.weight_bits == 8
+        assert IBertQuantizer().properties.weight_bits == 8
+        assert QBertQuantizer().properties.weight_bits == 4
+        assert GoboQuantizer().properties.weight_bits == 3
+        assert TernaryBertQuantizer().properties.weight_bits == 2
+
+    def test_only_ibert_is_integer_compute(self):
+        flags = {cls().properties.name: cls().properties.integer_compute for cls in ALL_BASELINES}
+        assert flags["I-BERT"] is True
+        assert flags["Q8BERT"] is False
+        assert flags["GOBO"] is False
+
+    def test_only_gobo_is_post_training(self):
+        flags = {cls().properties.name: cls().properties.post_training for cls in ALL_BASELINES}
+        assert flags["GOBO"] is True
+        assert flags["Q-BERT"] is False
+        assert flags["TernaryBERT"] is False
+
+
+class TestQuantizeModels:
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_quantize_produces_runnable_model(self, baseline_cls, tiny_model, tiny_dataset):
+        result = baseline_cls().quantize(tiny_model, calibration=tiny_dataset)
+        hook = result.activation_hook_factory() if result.activation_hook_factory else None
+        score = evaluate(result.model, tiny_dataset, hook=hook)
+        assert 0.0 <= score <= 100.0
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_weight_compression_ratio_positive(self, baseline_cls, tiny_model):
+        result = baseline_cls().quantize(tiny_model)
+        assert result.weight_compression_ratio > 1.5
+
+    def test_compression_ordering_matches_bit_widths(self, tiny_model):
+        """Fewer weight bits -> higher weight compression."""
+        q8 = Q8BertQuantizer().quantize(tiny_model).weight_compression_ratio
+        q4 = QBertQuantizer().quantize(tiny_model).weight_compression_ratio
+        t2 = TernaryBertQuantizer().quantize(tiny_model).weight_compression_ratio
+        assert t2 > q4 > q8
+
+    def test_8bit_methods_nearly_lossless(self, tiny_model, tiny_dataset):
+        for cls in (Q8BertQuantizer, IBertQuantizer):
+            result = cls().quantize(tiny_model, calibration=tiny_dataset)
+            hook = result.activation_hook_factory()
+            assert evaluate(result.model, tiny_dataset, hook=hook) >= 85.0
+
+    def test_gobo_weight_only_close_to_fp(self, tiny_model, tiny_dataset):
+        result = GoboQuantizer().quantize(tiny_model)
+        assert result.activation_hook_factory is None
+        assert evaluate(result.model, tiny_dataset) >= 75.0
+        assert 0.0 < result.extra["mean_outlier_fraction"] < 0.1
+
+    def test_original_model_not_mutated(self, tiny_model, tiny_dataset):
+        before = {n: v.copy() for n, v in tiny_model.named_parameters()}
+        Q8BertQuantizer().quantize(tiny_model, calibration=tiny_dataset)
+        TernaryBertQuantizer().quantize(tiny_model)
+        for name, value in tiny_model.named_parameters():
+            assert np.array_equal(before[name], value)

@@ -1,0 +1,111 @@
+"""Tests for TransformerConfig and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model_zoo import (
+    MODEL_CONFIGS,
+    PAPER_MODELS,
+    bert_base,
+    bert_large,
+    build_simulation_model,
+    deberta_xl,
+    gaussian_with_outliers,
+    roberta_large,
+)
+
+
+class TestConfig:
+    def test_head_dim(self):
+        assert bert_base().head_dim == 64
+        assert bert_large().head_dim == 64
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", 2, 30, 4, 64)
+
+    def test_parameter_counts_match_published_sizes(self):
+        # BERT-Base ~110M, BERT-Large ~340M, RoBERTa-Large ~355M,
+        # DeBERTa-XL ~750M (the paper quotes 750M).
+        assert 100e6 < bert_base().parameter_count() < 120e6
+        assert 320e6 < bert_large().parameter_count() < 350e6
+        assert 340e6 < roberta_large().parameter_count() < 370e6
+        assert 650e6 < deberta_xl().parameter_count() < 850e6
+
+    def test_parameter_bytes_track_dtype(self):
+        cfg32 = bert_base()
+        cfg16 = TransformerConfig(**{**cfg32.to_dict(), "dtype": "float16"})
+        assert cfg32.parameter_bytes() == 2 * cfg16.parameter_bytes()
+
+    def test_activation_footprint_grows_quadratically(self):
+        cfg = bert_large()
+        small = cfg.activation_bytes(128)
+        large = cfg.activation_bytes(2048)
+        # 16x longer sequences -> more than 16x activations (quadratic term).
+        assert large > 20 * small
+
+    def test_activations_dominate_beyond_512_tokens(self):
+        """The Fig. 1 observation: activations dominate past ~512 tokens."""
+        cfg = TransformerConfig(**{**bert_large().to_dict(), "dtype": "float16",
+                                   "max_position_embeddings": 2048})
+        weights = cfg.parameter_bytes()
+        assert cfg.activation_bytes(128) < weights
+        assert cfg.activation_bytes(1024) > weights
+
+    def test_scaled_config_preserves_structure(self):
+        scaled = bert_large().scaled(8)
+        assert scaled.num_layers == 24
+        assert scaled.num_heads == 16
+        assert scaled.hidden_size % scaled.num_heads == 0
+        assert scaled.hidden_size < bert_large().hidden_size
+
+    def test_scaled_factor_one_is_identity(self):
+        cfg = bert_base()
+        assert cfg.scaled(1) is cfg
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            bert_base().scaled(0)
+
+
+class TestModelZoo:
+    def test_all_paper_models_have_configs(self):
+        for model_name, _task, _seq, _head in PAPER_MODELS:
+            assert model_name in MODEL_CONFIGS
+
+    def test_deberta_uses_disentangled_attention(self):
+        assert deberta_xl().disentangled_attention
+        assert not bert_large().disentangled_attention
+
+    def test_gaussian_with_outliers_fraction(self, rng):
+        values = gaussian_with_outliers((100_000,), std=1.0, outlier_fraction=0.02, rng=rng)
+        outliers = np.abs(values) > 3.0
+        assert 0.01 < outliers.mean() < 0.04
+
+    def test_gaussian_with_outliers_no_outliers(self, rng):
+        values = gaussian_with_outliers((10_000,), std=1.0, outlier_fraction=0.0, rng=rng)
+        assert np.abs(values).max() < 6.0
+
+    def test_build_simulation_model_scales_down(self):
+        model = build_simulation_model("bert-base", scale=12, max_layers=2, seed=0)
+        assert model.config.num_layers == 2
+        assert model.config.hidden_size < 768
+        assert model.config.hidden_size % model.config.num_heads == 0
+
+    def test_build_simulation_model_task_mapping(self):
+        assert build_simulation_model("bert-large", task="stsb", scale=16, max_layers=1).task == "regression"
+        assert build_simulation_model("bert-large", task="squad", scale=16, max_layers=1).task == "qa"
+        assert build_simulation_model("bert-base", task="mnli", scale=16, max_layers=1).task == "classification"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_simulation_model("gpt-17")
+
+    def test_weight_distributions_are_bell_shaped_with_outliers(self, tiny_model):
+        """The synthetic weights reproduce the distribution Mokey relies on."""
+        for name, values in list(tiny_model.weight_matrices().items())[:5]:
+            flat = values.ravel()
+            std = flat.std()
+            inside = np.abs(flat - flat.mean()) < 3 * std
+            assert inside.mean() > 0.93, name

@@ -1,0 +1,82 @@
+"""Tests for the exponential curve fit (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exponential_fit import ExponentialFit, fit_exponential
+
+
+class TestFitExponential:
+    def test_recovers_exact_exponential(self):
+        a, b = 1.25, -0.9
+        half = a ** np.arange(8) + b
+        fit = fit_exponential(half)
+        assert fit.a == pytest.approx(a, rel=1e-4)
+        assert fit.b == pytest.approx(b, rel=1e-3)
+
+    def test_paper_parameters_reproduce_their_dictionary(self):
+        """Check the fit is self-consistent for the paper's own (a, b)."""
+        half = 1.179 ** np.arange(8) - 0.977
+        fit = fit_exponential(half)
+        assert fit.a == pytest.approx(1.179, abs=0.01)
+        assert fit.b == pytest.approx(-0.977, abs=0.02)
+
+    def test_weighting_prioritises_inner_bins(self):
+        # Perturb only the outermost bin: the fit should barely move near zero.
+        a, b = 1.2, -0.8
+        half = a ** np.arange(8) + b
+        perturbed = half.copy()
+        perturbed[-1] += 0.5
+        fit = fit_exponential(perturbed)
+        assert abs(fit.value(0) - half[0]) < 0.05
+        # ... while the outer bin absorbs most of the residual error.
+        assert abs(fit.value(7) - perturbed[7]) > abs(fit.value(0) - perturbed[0])
+
+    def test_requires_sorted_input(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, 0.5, 2.0])
+
+    def test_requires_two_entries(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0])
+
+    def test_base_greater_than_one(self):
+        rng = np.random.default_rng(0)
+        half = np.sort(np.abs(rng.normal(0, 1, 8)))
+        half = np.unique(half)
+        if half.size < 2:
+            pytest.skip("degenerate random draw")
+        fit = fit_exponential(half)
+        assert fit.a > 1.0
+
+
+class TestExponentialFitObject:
+    def test_magnitudes_match_formula(self):
+        fit = ExponentialFit(a=1.2, b=-0.9, num_entries=8)
+        expected = 1.2 ** np.arange(8) - 0.9
+        assert np.allclose(fit.magnitudes(), expected)
+
+    def test_value_with_signs(self):
+        fit = ExponentialFit(a=1.2, b=-0.9, num_entries=8)
+        values = fit.value(np.array([0, 3]), sign=np.array([1, -1]))
+        assert values[0] == pytest.approx(1.2 ** 0 - 0.9)
+        assert values[1] == pytest.approx(-(1.2 ** 3 - 0.9))
+
+    def test_max_exponent_sum(self):
+        fit = ExponentialFit(a=1.2, b=-0.9, num_entries=8)
+        assert fit.max_exponent_sum() == 14
+        assert fit.product_bases().size == 15
+
+    def test_product_bases_are_powers(self):
+        fit = ExponentialFit(a=1.3, b=-1.0, num_entries=8)
+        bases = fit.product_bases()
+        assert np.allclose(bases, 1.3 ** np.arange(15))
+
+    def test_fit_error_requires_matching_size(self):
+        fit = ExponentialFit(a=1.2, b=-0.9, num_entries=8)
+        with pytest.raises(ValueError):
+            fit.fit_error(np.arange(5))
+
+    def test_fit_error_zero_for_exact_curve(self):
+        fit = ExponentialFit(a=1.2, b=-0.9, num_entries=8)
+        assert fit.fit_error(fit.magnitudes()) == pytest.approx(0.0)

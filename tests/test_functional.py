@@ -1,0 +1,72 @@
+"""Tests for the elementwise/normalisation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.transformer.functional import erf, gelu, layer_norm, relu, softmax, tanh_gelu
+
+
+class TestErfGelu:
+    def test_erf_reference_values(self):
+        assert erf(np.array(0.0)) == pytest.approx(0.0, abs=1e-6)
+        assert erf(np.array(1.0)) == pytest.approx(0.8427, abs=1e-3)
+        assert erf(np.array(-1.0)) == pytest.approx(-0.8427, abs=1e-3)
+        assert erf(np.array(3.0)) == pytest.approx(1.0, abs=1e-4)
+
+    def test_erf_is_odd(self, rng):
+        x = rng.normal(0, 2, 100)
+        assert np.allclose(erf(x), -erf(-x), atol=1e-6)
+
+    def test_gelu_reference_values(self):
+        assert gelu(np.array(0.0)) == pytest.approx(0.0, abs=1e-6)
+        assert gelu(np.array(1.0)) == pytest.approx(0.8413, abs=1e-3)
+        assert gelu(np.array(-10.0)) == pytest.approx(0.0, abs=1e-4)
+        assert gelu(np.array(10.0)) == pytest.approx(10.0, abs=1e-4)
+
+    def test_gelu_close_to_tanh_approximation(self, rng):
+        x = rng.normal(0, 2, 200)
+        assert np.max(np.abs(gelu(x) - tanh_gelu(x))) < 0.02
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(0, 5, (4, 7))
+        p = softmax(x, axis=-1)
+        assert np.allclose(p.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_invariant_to_constant_shift(self, rng):
+        x = rng.normal(0, 1, (3, 5))
+        assert np.allclose(softmax(x), softmax(x + 100.0), atol=1e-6)
+
+    def test_no_overflow_for_large_logits(self):
+        p = softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_for_equal_logits(self):
+        p = softmax(np.zeros((1, 8)))
+        assert np.allclose(p, 1 / 8)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance_with_identity_params(self, rng):
+        x = rng.normal(3, 5, (6, 32))
+        out = layer_norm(x, np.ones(32), np.zeros(32))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.normal(0, 1, (2, 16))
+        gamma = np.full(16, 2.0)
+        beta = np.full(16, -1.0)
+        base = layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(layer_norm(x, gamma, beta), base * 2.0 - 1.0, atol=1e-5)
+
+    def test_constant_rows_do_not_explode(self):
+        x = np.full((1, 8), 7.0)
+        out = layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.isfinite(out).all()
+        assert np.allclose(out, 0.0, atol=1e-3)

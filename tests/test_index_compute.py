@@ -1,0 +1,151 @@
+"""Tests for the index-domain MAC decomposition (paper Eq. 3-6, Fig. 4).
+
+The central claim of the paper is that the dot product of two
+Mokey-quantized tensors can be computed exactly from exponent-sum
+histograms plus a handful of constants.  These tests verify that claim by
+comparing the index-domain result against the dot product of the decoded
+(dequantized) operands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index_compute import (
+    IndexComputeStats,
+    IndexDomainEngine,
+    index_domain_dot,
+    index_domain_matmul,
+)
+from repro.core.quantizer import MokeyQuantizer
+
+
+def _quantized_pair(quantizer, rng, n=512, act_outliers=0.04, w_outliers=0.01):
+    w = rng.normal(0, 0.02, n)
+    if w_outliers > 0:
+        w[rng.choice(n, max(1, int(n * w_outliers)), replace=False)] = rng.choice([-1, 1]) * 0.3
+    else:
+        w = np.clip(w, -0.05, 0.05)
+    a = rng.normal(0.5, 2.0, n)
+    if act_outliers > 0:
+        a[rng.choice(n, max(1, int(n * act_outliers)), replace=False)] = rng.choice([-1, 1]) * 60.0
+    else:
+        a = np.clip(a, -4.5, 5.5)
+    return quantizer.quantize(a, "a"), quantizer.quantize(w, "w")
+
+
+def _reference_dot(aq, wq):
+    a = aq.dictionary.decode(aq.encoded, apply_fixed_point=False)
+    w = wq.dictionary.decode(wq.encoded, apply_fixed_point=False)
+    return float(a @ w)
+
+
+class TestDotProduct:
+    def test_matches_decoded_dot_product(self, quantizer, rng):
+        aq, wq = _quantized_pair(quantizer, rng)
+        result = index_domain_dot(aq, wq)
+        assert result.value == pytest.approx(_reference_dot(aq, wq), rel=1e-9, abs=1e-9)
+
+    def test_matches_without_outliers(self, quantizer, rng):
+        aq, wq = _quantized_pair(quantizer, rng, act_outliers=0.0, w_outliers=0.0)
+        result = index_domain_dot(aq, wq)
+        assert result.value == pytest.approx(_reference_dot(aq, wq), rel=1e-9, abs=1e-9)
+        assert result.outlier_contribution == 0.0
+
+    def test_matches_with_many_outliers(self, quantizer, rng):
+        """Force a large outlier population by fitting the activation
+        dictionary on a profiling sample and then feeding a vector whose
+        tail extends well beyond the profiled range."""
+        n = 512
+        profile = rng.normal(0.5, 2.0, 4000)
+        profile[:40] = 80.0  # make sure an outlier dictionary exists
+        act_dict = quantizer.fit_dictionary("a", profile)
+        a = rng.normal(0.5, 2.0, n)
+        a[rng.choice(n, 60, replace=False)] = rng.choice([-1, 1], 60) * 70.0
+        w = rng.normal(0, 0.02, n)
+        aq = quantizer.quantize(a, dictionary=act_dict)
+        wq = quantizer.quantize(w, "w")
+        result = index_domain_dot(aq, wq)
+        assert result.value == pytest.approx(_reference_dot(aq, wq), rel=1e-9, abs=1e-9)
+        assert result.stats.outlier_pairs >= 60
+
+    def test_terms_sum_to_value(self, quantizer, rng):
+        aq, wq = _quantized_pair(quantizer, rng)
+        result = index_domain_dot(aq, wq)
+        assert result.value == pytest.approx(sum(result.terms().values()), rel=1e-12)
+
+    def test_close_to_original_fp_dot_product(self, quantizer, rng):
+        """The quantized dot product approximates the FP one (model fidelity)."""
+        n = 2048
+        w = rng.normal(0, 0.02, n)
+        a = rng.normal(0.0, 1.5, n)
+        aq, wq = quantizer.quantize(a, "a"), quantizer.quantize(w, "w")
+        result = index_domain_dot(aq, wq)
+        exact = float(a @ w)
+        scale = np.abs(a).mean() * np.abs(w).mean() * np.sqrt(n)
+        assert abs(result.value - exact) < 0.5 * scale
+
+    def test_length_mismatch_rejected(self, quantizer, rng):
+        aq = quantizer.quantize(rng.normal(0, 1, 16), "a")
+        wq = quantizer.quantize(rng.normal(0, 1, 8), "w")
+        with pytest.raises(ValueError):
+            index_domain_dot(aq, wq)
+
+    def test_mismatched_golden_dictionaries_rejected(self, quantizer, rng):
+        from repro.core.golden_dictionary import generate_golden_dictionary
+        from repro.core.quantizer import MokeyQuantizer
+
+        other = MokeyQuantizer(generate_golden_dictionary(num_samples=2000, num_repeats=1, seed=99))
+        aq = quantizer.quantize(rng.normal(0, 1, 16), "a")
+        wq = other.quantize(rng.normal(0, 1, 16), "w")
+        if np.isclose(aq.dictionary.golden.fit.a, wq.dictionary.golden.fit.a):
+            pytest.skip("randomly identical fits")
+        with pytest.raises(ValueError):
+            IndexDomainEngine(aq.dictionary, wq.dictionary)
+
+
+class TestStatistics:
+    def test_pair_counts(self, quantizer, rng):
+        aq, wq = _quantized_pair(quantizer, rng, n=256)
+        result = index_domain_dot(aq, wq)
+        assert result.stats.total_pairs == 256
+        assert result.stats.gaussian_pairs + result.stats.outlier_pairs == 256
+
+    def test_counter_updates_four_per_gaussian_pair(self, quantizer, rng):
+        aq, wq = _quantized_pair(quantizer, rng, n=128)
+        result = index_domain_dot(aq, wq)
+        assert result.stats.counter_updates == 4 * result.stats.gaussian_pairs
+
+    def test_merge_accumulates(self):
+        a = IndexComputeStats(gaussian_pairs=10, outlier_pairs=1, index_additions=10,
+                              counter_updates=40, post_processing_macs=30)
+        b = IndexComputeStats(gaussian_pairs=5, outlier_pairs=2, index_additions=5,
+                              counter_updates=20, post_processing_macs=32)
+        a.merge(b)
+        assert a.gaussian_pairs == 15
+        assert a.outlier_pairs == 3
+        assert a.outlier_pair_fraction == pytest.approx(3 / 18)
+
+
+class TestMatmul:
+    def test_matmul_matches_decoded_matmul(self, quantizer, rng):
+        a = rng.normal(0.2, 1.0, (4, 24))
+        w = rng.normal(0, 0.05, (24, 3))
+        aq = quantizer.quantize(a, "a")
+        wq = quantizer.quantize(w, "w")
+        result, stats = index_domain_matmul(aq, wq)
+        a_dec = aq.dictionary.decode(aq.encoded, apply_fixed_point=False).reshape(a.shape)
+        w_dec = wq.dictionary.decode(wq.encoded, apply_fixed_point=False).reshape(w.shape)
+        assert np.allclose(result, a_dec @ w_dec, rtol=1e-9, atol=1e-9)
+        assert stats.total_pairs == 4 * 24 * 3
+
+    def test_matmul_requires_2d(self, quantizer, rng):
+        aq = quantizer.quantize(rng.normal(0, 1, 8), "a")
+        wq = quantizer.quantize(rng.normal(0, 1, (8, 2)), "w")
+        with pytest.raises(ValueError):
+            index_domain_matmul(aq, wq)
+
+    def test_matmul_inner_dim_mismatch(self, quantizer, rng):
+        aq = quantizer.quantize(rng.normal(0, 1, (2, 8)), "a")
+        wq = quantizer.quantize(rng.normal(0, 1, (4, 2)), "w")
+        with pytest.raises(ValueError):
+            index_domain_matmul(aq, wq)

@@ -1,0 +1,119 @@
+"""Tests for the basic layers (Linear, LayerNorm, Embedding, FeedForward)."""
+
+import numpy as np
+import pytest
+
+from repro.transformer.functional import gelu
+from repro.transformer.layers import Embedding, FeedForward, LayerNorm, Linear
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        w = rng.normal(0, 1, (8, 4))
+        b = rng.normal(0, 1, 4)
+        x = rng.normal(0, 1, (3, 8))
+        layer = Linear(w, b)
+        assert np.allclose(layer(x), x @ w + b)
+
+    def test_default_zero_bias(self, rng):
+        w = rng.normal(0, 1, (8, 4))
+        layer = Linear(w)
+        assert np.allclose(layer.bias, 0.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Linear(rng.normal(0, 1, 8))
+        with pytest.raises(ValueError):
+            Linear(rng.normal(0, 1, (8, 4)), rng.normal(0, 1, 3))
+
+    def test_named_parameters_and_set(self, rng):
+        layer = Linear(rng.normal(0, 1, (4, 4)))
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        new_weight = np.zeros((4, 4), dtype=np.float32)
+        layer.set_parameter("weight", new_weight)
+        assert np.array_equal(layer.weight, new_weight)
+        with pytest.raises(ValueError):
+            layer.set_parameter("weight", np.zeros((2, 2)))
+        with pytest.raises(KeyError):
+            layer.set_parameter("nope", new_weight)
+
+    def test_macs(self, rng):
+        layer = Linear(rng.normal(0, 1, (16, 32)))
+        assert layer.macs(rows=10) == 10 * 16 * 32
+
+
+class TestLayerNormModule:
+    def test_forward_matches_functional(self, rng):
+        gamma = rng.normal(1, 0.1, 8)
+        beta = rng.normal(0, 0.1, 8)
+        layer = LayerNorm(gamma, beta)
+        x = rng.normal(0, 1, (4, 8))
+        from repro.transformer.functional import layer_norm
+
+        assert np.allclose(layer(x), layer_norm(x, gamma, beta, layer.eps))
+
+    def test_mismatched_params_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(np.ones(8), np.zeros(4))
+
+    def test_set_parameter(self):
+        layer = LayerNorm(np.ones(4), np.zeros(4))
+        layer.set_parameter("gamma", np.full(4, 2.0))
+        assert np.allclose(layer.gamma, 2.0)
+        with pytest.raises(KeyError):
+            layer.set_parameter("delta", np.ones(4))
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.normal(0, 1, (10, 4))
+        layer = Embedding(table)
+        ids = np.array([[0, 3], [9, 1]])
+        assert np.allclose(layer(ids), table[ids])
+
+    def test_out_of_range_rejected(self, rng):
+        layer = Embedding(rng.normal(0, 1, (10, 4)))
+        with pytest.raises(IndexError):
+            layer(np.array([[10]]))
+
+    def test_properties(self, rng):
+        layer = Embedding(rng.normal(0, 1, (10, 4)))
+        assert layer.num_embeddings == 10
+        assert layer.embedding_dim == 4
+
+
+class TestFeedForward:
+    def test_forward_is_gelu_sandwich(self, rng):
+        up = Linear(rng.normal(0, 0.1, (8, 16)), rng.normal(0, 0.1, 16))
+        down = Linear(rng.normal(0, 0.1, (16, 8)), rng.normal(0, 0.1, 8))
+        ffn = FeedForward(up, down)
+        x = rng.normal(0, 1, (2, 8))
+        expected = down(gelu(up(x)))
+        assert np.allclose(ffn(x), expected)
+
+    def test_hook_sees_intermediate_and_output(self, rng):
+        up = Linear(rng.normal(0, 0.1, (8, 16)))
+        down = Linear(rng.normal(0, 0.1, (16, 8)))
+        ffn = FeedForward(up, down)
+        seen = []
+
+        def hook(name, array):
+            seen.append(name)
+            return array
+
+        ffn(rng.normal(0, 1, (2, 8)), hook=hook, prefix="layer0.ffn")
+        assert seen == ["layer0.ffn.intermediate", "layer0.ffn.output"]
+
+    def test_named_parameters_prefixed(self, rng):
+        ffn = FeedForward(Linear(rng.normal(0, 1, (4, 8))), Linear(rng.normal(0, 1, (8, 4))))
+        names = [n for n, _ in ffn.named_parameters()]
+        assert "intermediate.weight" in names
+        assert "output.bias" in names
+
+    def test_set_parameter_routing(self, rng):
+        ffn = FeedForward(Linear(rng.normal(0, 1, (4, 8))), Linear(rng.normal(0, 1, (8, 4))))
+        ffn.set_parameter("output.weight", np.zeros((8, 4), dtype=np.float32))
+        assert np.allclose(ffn.output.weight, 0.0)
+        with pytest.raises(KeyError):
+            ffn.set_parameter("unknown.weight", np.zeros((8, 4)))

@@ -1,0 +1,123 @@
+"""Tests for the behavioural hardware models (CRFs, GPE, OPP, tile)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.crf import CounterRegisterFile, GpeCounterSet
+from repro.accelerator.pe import MokeyTile
+from repro.core.index_compute import index_domain_dot
+from repro.core.tensor_dictionary import EncodedValues
+
+
+class TestCounterRegisterFile:
+    def test_increment_and_decrement(self):
+        crf = CounterRegisterFile(4)
+        crf.update(1, up=True)
+        crf.update(1, up=True)
+        crf.update(1, up=False)
+        assert crf.counters[1] == 1
+
+    def test_out_of_range_address(self):
+        crf = CounterRegisterFile(4)
+        with pytest.raises(IndexError):
+            crf.update(4, up=True)
+
+    def test_saturation_at_width(self):
+        crf = CounterRegisterFile(1, width_bits=4)
+        for _ in range(20):
+            crf.update(0, up=True)
+        assert crf.counters[0] == 7
+        assert crf.saturations > 0
+
+    def test_drain_resets(self):
+        crf = CounterRegisterFile(2)
+        crf.update(0, up=True)
+        values = crf.drain()
+        assert values[0] == 1
+        assert crf.counters[0] == 0
+
+    def test_8bit_counters_suffice_for_typical_tile_sizes(self):
+        """The paper drains per output activation; with reduction lengths of
+        a few hundred the signed counts stay within 8 bits in expectation.
+        A worst-case all-same-sign, all-same-index stream of 128 pairs fits."""
+        counters = GpeCounterSet()
+        for _ in range(127):
+            counters.process_pair(3, 1, 4, 1)
+        assert counters.total_saturations == 0
+
+    def test_gpe_counter_set_shapes(self):
+        counters = GpeCounterSet(num_half_entries=8)
+        assert counters.soi.num_entries == 15
+        assert counters.soa1.num_entries == 8
+        assert counters.sow1.num_entries == 8
+        assert counters.pom1.num_entries == 1
+
+
+class TestMokeyTile:
+    def _encode_vectors(self, quantizer, rng, n=96):
+        w = rng.normal(0, 0.02, n)
+        w[rng.choice(n, 2, replace=False)] = 0.3
+        a_rows = []
+        for _ in range(3):
+            a = rng.normal(0.3, 1.5, n)
+            a[rng.choice(n, 3, replace=False)] = -18.0
+            a_rows.append(a)
+        wq = quantizer.quantize(w, "w")
+        act_dict = quantizer.fit_dictionary("a", np.concatenate(a_rows))
+        aq_rows = [quantizer.quantize(a, dictionary=act_dict) for a in a_rows]
+        return aq_rows, wq, act_dict
+
+    def test_tile_matches_index_domain_engine(self, quantizer, rng):
+        aq_rows, wq, act_dict = self._encode_vectors(quantizer, rng)
+        tile = MokeyTile(num_gpes=8)
+        outputs, cycles = tile.compute_outputs(
+            [a.encoded for a in aq_rows], wq.encoded, act_dict, wq.dictionary
+        )
+        for output, aq in zip(outputs, aq_rows):
+            reference = index_domain_dot(aq, wq)
+            assert output == pytest.approx(reference.value, rel=1e-9, abs=1e-9)
+        assert cycles > 0
+
+    def test_tile_matches_decoded_dot_product(self, quantizer, rng):
+        aq_rows, wq, act_dict = self._encode_vectors(quantizer, rng, n=64)
+        tile = MokeyTile()
+        outputs, _ = tile.compute_outputs(
+            [a.encoded for a in aq_rows], wq.encoded, act_dict, wq.dictionary
+        )
+        w_dec = wq.dictionary.decode(wq.encoded, apply_fixed_point=False)
+        for output, aq in zip(outputs, aq_rows):
+            a_dec = act_dict.decode(aq.encoded, apply_fixed_point=False)
+            assert output == pytest.approx(float(a_dec @ w_dec), rel=1e-9, abs=1e-9)
+
+    def test_outliers_add_serialisation_cycles(self, quantizer, rng):
+        """With several GPEs active, every outlier serialises through the
+        shared OPP and adds a cycle on top of the lock-step Gaussian stream."""
+        n = 64
+        rows_clean = [np.clip(rng.normal(0, 1, n), -2, 2) for _ in range(3)]
+        rows_dirty = [row.copy() for row in rows_clean]
+        for row in rows_dirty:
+            row[:6] = 30.0
+        act_dict = quantizer.fit_dictionary("a", np.concatenate(rows_dirty))
+        w = rng.normal(0, 0.02, n)
+        wq = quantizer.quantize(w, "w")
+        _, cycles_clean = MokeyTile().compute_outputs(
+            [act_dict.encode(row) for row in rows_clean], wq.encoded, act_dict, wq.dictionary
+        )
+        _, cycles_dirty = MokeyTile().compute_outputs(
+            [act_dict.encode(row) for row in rows_dirty], wq.encoded, act_dict, wq.dictionary
+        )
+        assert cycles_dirty > cycles_clean
+
+    def test_too_many_rows_rejected(self, quantizer, rng):
+        aq_rows, wq, act_dict = self._encode_vectors(quantizer, rng, n=32)
+        tile = MokeyTile(num_gpes=2)
+        with pytest.raises(ValueError):
+            tile.compute_outputs(
+                [a.encoded for a in aq_rows], wq.encoded, act_dict, wq.dictionary
+            )
+
+    def test_length_mismatch_rejected(self, quantizer, rng):
+        wq = quantizer.quantize(rng.normal(0, 1, 16), "w")
+        aq = quantizer.quantize(rng.normal(0, 1, 8), "a")
+        with pytest.raises(ValueError):
+            MokeyTile().compute_outputs([aq.encoded], wq.encoded, aq.dictionary, wq.dictionary)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants exercised here are the ones the paper's correctness rests
+on: the index-domain decomposition always equals the decoded dot product,
+encode/decode round-trips never increase the error beyond the dictionary
+resolution, the memory container is lossless for arbitrary outlier
+patterns, and the fixed-point conversion respects Eq. 7-8 for any range.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.fixed_point import FixedPointFormat
+from repro.core.golden_dictionary import generate_golden_dictionary
+from repro.core.index_compute import index_domain_dot
+from repro.core.quantizer import MokeyQuantizer
+from repro.memory.layout import pack_offchip, pack_onchip_5bit, unpack_offchip, unpack_onchip_5bit
+from repro.transformer.tasks import spearman_correlation
+
+# A module-level quantizer keeps hypothesis examples fast; the golden
+# dictionary structure is identical to the full-size one.
+_GOLDEN = generate_golden_dictionary(num_samples=4000, num_repeats=1, seed=21)
+_QUANTIZER = MokeyQuantizer(_GOLDEN)
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def value_arrays(draw, min_size=16, max_size=200):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    values = draw(
+        hnp.arrays(dtype=np.float64, shape=size, elements=finite_floats)
+    )
+    # Reject degenerate all-equal arrays (std = 0 has no meaningful dictionary).
+    if np.std(values) < 1e-6:
+        values = values + np.linspace(0, 1, size)
+    return values
+
+
+class TestQuantizationProperties:
+    @given(values=value_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_error_bounded_by_dictionary_resolution(self, values):
+        q = _QUANTIZER.quantize(values, "t")
+        recon = q.dequantize().astype(np.float64)
+        dictionary = q.dictionary
+        # Gaussian values are off by at most half the largest inter-centroid
+        # gap (in tensor units) plus the fixed-point step; outliers by the
+        # outlier dictionary resolution which is bounded by the value range.
+        half = dictionary.gaussian_half * dictionary.std
+        max_gap = np.max(np.diff(np.concatenate([[0.0], half])))
+        gaussian_bound = max_gap + dictionary.fixed_point.scale + 1e-9
+        errors = np.abs(recon - values)
+        gaussian_mask = ~q.encoded.is_outlier.ravel()
+        inside = np.abs(values - dictionary.mean) <= dictionary.threshold
+        check = gaussian_mask & inside
+        assert np.all(errors[check] <= gaussian_bound)
+
+    @given(values=value_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_quantize_dequantize_idempotent(self, values):
+        dictionary = _QUANTIZER.fit_dictionary("t", values)
+        once = dictionary.quantize_dequantize(values)
+        twice = dictionary.quantize_dequantize(once)
+        assert np.allclose(once, twice, atol=2 * dictionary.fixed_point.scale)
+
+    @given(values=value_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_outlier_fraction_between_zero_and_one(self, values):
+        q = _QUANTIZER.quantize(values, "t")
+        assert 0.0 <= q.outlier_fraction <= 1.0
+        assert q.memory_bits() >= q.size * 4
+
+
+class TestIndexComputeProperties:
+    @given(
+        values=st.tuples(value_arrays(min_size=8, max_size=64), st.integers(0, 2 ** 31 - 1))
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_index_domain_equals_decoded_dot(self, values):
+        activations, seed = values
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(0, 0.05, activations.size)
+        aq = _QUANTIZER.quantize(activations, "a")
+        wq = _QUANTIZER.quantize(weights, "w")
+        result = index_domain_dot(aq, wq)
+        a_dec = aq.dictionary.decode(aq.encoded, apply_fixed_point=False)
+        w_dec = wq.dictionary.decode(wq.encoded, apply_fixed_point=False)
+        reference = float(a_dec @ w_dec)
+        assert result.value == pytest.approx(reference, rel=1e-8, abs=1e-8)
+
+
+class TestMemoryLayoutProperties:
+    @given(values=value_arrays(min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_offchip_container_lossless(self, values):
+        encoded = _QUANTIZER.quantize(values, "t").encoded
+        restored = unpack_offchip(pack_offchip(encoded))
+        assert np.array_equal(restored.is_outlier, encoded.is_outlier.ravel())
+        gaussian = ~encoded.is_outlier.ravel()
+        assert np.array_equal(restored.sign[gaussian], encoded.sign.ravel()[gaussian])
+        assert np.array_equal(
+            restored.gaussian_index[gaussian], encoded.gaussian_index.ravel()[gaussian]
+        )
+
+    @given(values=value_arrays(min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_onchip_5bit_lossless(self, values):
+        encoded = _QUANTIZER.quantize(values, "t").encoded
+        restored = unpack_onchip_5bit(pack_onchip_5bit(encoded))
+        assert np.array_equal(restored.is_outlier, encoded.is_outlier.ravel())
+
+
+class TestFixedPointProperties:
+    @given(
+        minimum=st.floats(-1000, 999, allow_nan=False),
+        span=st.floats(1e-3, 2000, allow_nan=False),
+        bits=st.integers(4, 24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_format_always_valid(self, minimum, span, bits):
+        fmt = FixedPointFormat.for_range(minimum, minimum + span, total_bits=bits)
+        assert fmt.total_bits == bits
+        assert fmt.scale > 0
+
+    @given(
+        values=hnp.arrays(
+            dtype=np.float64, shape=50, elements=st.floats(-3.99, 3.99, allow_nan=False)
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_error_within_half_lsb(self, values):
+        # Values strictly inside the representable range (the positive end of
+        # the range itself is clipped by one LSB in two's-complement formats).
+        fmt = FixedPointFormat.for_range(-4, 4, 16)
+        assert np.max(np.abs(fmt.quantize(values) - values)) <= fmt.scale / 2 + 1e-12
+
+
+class TestMetricProperties:
+    @given(
+        x=hnp.arrays(dtype=np.float64, shape=20, elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_spearman_bounded(self, x):
+        y = np.linspace(0, 1, x.size)
+        value = spearman_correlation(x, y)
+        assert -100.0 - 1e-9 <= value <= 100.0 + 1e-9
+
+    @given(
+        x=hnp.arrays(dtype=np.float64, shape=20, elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_spearman_symmetric(self, x):
+        y = np.sin(x)
+        assert spearman_correlation(x, y) == pytest.approx(spearman_correlation(y, x), abs=1e-9)

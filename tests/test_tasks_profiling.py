@@ -1,0 +1,171 @@
+"""Tests for synthetic tasks, metrics, profiling and tensor bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.transformer.profiling import ActivationProfiler, TensorStatistics, profile_weights
+from repro.transformer.tasks import (
+    accuracy,
+    evaluate,
+    generate_inputs,
+    label_with_model,
+    span_f1,
+    spearman_correlation,
+)
+from repro.transformer.tensors import ActivationRecorder, NamedTensor, TensorRegistry
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(200 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_spearman_perfect_monotonic(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, x ** 3) == pytest.approx(100.0)
+
+    def test_spearman_anticorrelated(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, -x) == pytest.approx(-100.0)
+
+    def test_spearman_with_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman_correlation(x, y) == pytest.approx(100.0)
+
+    def test_spearman_constant_inputs(self):
+        assert spearman_correlation(np.ones(4), np.ones(4)) == pytest.approx(100.0)
+
+    def test_spearman_matches_scipy(self, rng):
+        from scipy import stats
+
+        x = rng.normal(0, 1, 50)
+        y = x + rng.normal(0, 0.5, 50)
+        ours = spearman_correlation(x, y)
+        reference = stats.spearmanr(x, y).statistic * 100
+        assert ours == pytest.approx(reference, abs=1e-6)
+
+    def test_span_f1_exact_match(self):
+        assert span_f1(np.array([[2, 5]]), np.array([[2, 5]])) == pytest.approx(100.0)
+
+    def test_span_f1_no_overlap(self):
+        assert span_f1(np.array([[0, 1]]), np.array([[5, 8]])) == pytest.approx(0.0)
+
+    def test_span_f1_partial_overlap(self):
+        # predicted [2,5] (4 tokens) vs reference [4,7] (4 tokens): overlap 2.
+        f1 = span_f1(np.array([[2, 5]]), np.array([[4, 7]]))
+        assert f1 == pytest.approx(50.0)
+
+
+class TestDatasets:
+    def test_generate_inputs_shapes(self):
+        data = generate_inputs(100, 16, 8, "classification", seed=1)
+        assert data.token_ids.shape == (8, 16)
+        assert data.segment_ids.shape == (8, 16)
+        assert data.attention_mask.shape == (8, 16)
+        assert data.labels is None
+
+    def test_generate_inputs_unknown_task(self):
+        with pytest.raises(ValueError):
+            generate_inputs(100, 16, 8, "summarisation")
+
+    def test_label_with_model_classification(self, tiny_model, tiny_config):
+        data = generate_inputs(tiny_config.vocab_size, 12, 6, "classification", seed=2)
+        labelled = label_with_model(tiny_model, data)
+        assert labelled.labels.shape == (6,)
+        assert set(np.unique(labelled.labels)).issubset({0, 1, 2})
+
+    def test_label_with_model_qa_spans_ordered(self, tiny_config):
+        from repro.transformer.model_zoo import build_model
+
+        model = build_model(tiny_config, task="qa", seed=4)
+        data = generate_inputs(tiny_config.vocab_size, 12, 6, "qa", seed=2)
+        labelled = label_with_model(model, data)
+        assert labelled.labels.shape == (6, 2)
+        assert np.all(labelled.labels[:, 1] >= labelled.labels[:, 0])
+
+    def test_evaluate_requires_labels(self, tiny_model, tiny_config):
+        data = generate_inputs(tiny_config.vocab_size, 12, 4, seed=3)
+        with pytest.raises(ValueError):
+            evaluate(tiny_model, data)
+
+    def test_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset(np.array([0, 2, 4]))
+        assert subset.num_samples == 3
+        assert subset.labels.shape[0] == 3
+
+
+class TestProfiling:
+    def test_streaming_statistics_match_numpy(self, rng):
+        stats = TensorStatistics("x")
+        chunks = [rng.normal(2, 3, 100) for _ in range(5)]
+        for chunk in chunks:
+            stats.update(chunk)
+        values = np.concatenate(chunks)
+        assert stats.count == values.size
+        assert stats.mean == pytest.approx(values.mean(), rel=1e-9)
+        assert stats.std == pytest.approx(values.std(), rel=1e-6)
+        assert stats.minimum == pytest.approx(values.min())
+        assert stats.maximum == pytest.approx(values.max())
+
+    def test_empty_update_ignored(self):
+        stats = TensorStatistics("x")
+        stats.update(np.empty(0))
+        assert stats.count == 0
+        assert stats.std == 0.0
+
+    def test_profiler_collects_all_activations(self, tiny_model, tiny_dataset):
+        profiler = ActivationProfiler()
+        profiler.profile(tiny_model, tiny_dataset, num_samples=8)
+        assert len(profiler) > 10
+        assert "encoder.0.attention.query" in profiler.names()
+        stats = profiler["encoder.0.attention.query"]
+        assert stats.count > 0
+        assert stats.std > 0
+
+    def test_profiler_does_not_change_outputs(self, tiny_model, tiny_dataset):
+        plain = tiny_model(tiny_dataset.token_ids[:2], tiny_dataset.segment_ids[:2],
+                           tiny_dataset.attention_mask[:2])
+        hooked = tiny_model(tiny_dataset.token_ids[:2], tiny_dataset.segment_ids[:2],
+                            tiny_dataset.attention_mask[:2], hook=ActivationProfiler())
+        assert np.allclose(plain, hooked)
+
+    def test_profile_weights(self, tiny_model):
+        stats = profile_weights(tiny_model)
+        assert set(stats) == set(tiny_model.weight_matrices())
+        for entry in stats.values():
+            assert entry.count > 0
+
+
+class TestTensorRegistry:
+    def test_register_and_query(self, rng):
+        registry = TensorRegistry()
+        registry.register("a.weight", rng.normal(0, 1, (4, 4)), role="weight")
+        registry.register("a.out", rng.normal(0, 1, (4,)), role="activation")
+        assert "a.weight" in registry
+        assert len(registry) == 2
+        assert registry.total_values("weight") == 16
+        assert [t.name for t in registry.by_role("activation")] == ["a.out"]
+
+    def test_invalid_role_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NamedTensor("x", rng.normal(0, 1, 4), role="gradient")
+
+    def test_recorder_subsamples(self, rng):
+        recorder = ActivationRecorder(max_values_per_tensor=100, seed=1)
+        recorder("big", rng.normal(0, 1, 10_000))
+        assert recorder.concatenated()["big"].size == 100
+
+    def test_recorder_concatenates_batches(self, rng):
+        recorder = ActivationRecorder()
+        recorder("x", rng.normal(0, 1, 10))
+        recorder("x", rng.normal(0, 1, 5))
+        assert recorder.concatenated()["x"].size == 15
+        assert recorder.names() == ["x"]

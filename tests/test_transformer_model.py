@@ -1,0 +1,176 @@
+"""Tests for attention, encoder blocks, embeddings and the full model."""
+
+import numpy as np
+import pytest
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.model_zoo import build_model
+from repro.transformer.tasks import generate_inputs
+
+
+class TestAttention:
+    def test_output_shape(self, tiny_model, tiny_config, rng):
+        attention = tiny_model.encoder.blocks[0].attention
+        x = rng.normal(0, 1, (2, 10, tiny_config.hidden_size)).astype(np.float32)
+        out = attention(x)
+        assert out.shape == x.shape
+
+    def test_padding_mask_blocks_attention_to_padded_positions(self, tiny_model, tiny_config, rng):
+        attention = tiny_model.encoder.blocks[0].attention
+        x = rng.normal(0, 1, (1, 8, tiny_config.hidden_size)).astype(np.float32)
+        mask = np.ones((1, 8))
+        mask[0, 4:] = 0
+        captured = {}
+
+        def hook(name, array):
+            if name.endswith("probs"):
+                captured["probs"] = array
+            return array
+
+        attention(x, attention_mask=mask, hook=hook, prefix="a")
+        probs = captured["probs"]
+        # Attention probability mass on padded keys must be ~0 for all queries.
+        assert probs[..., 4:].max() < 1e-6
+
+    def test_probs_are_a_distribution(self, tiny_model, tiny_config, rng):
+        attention = tiny_model.encoder.blocks[0].attention
+        x = rng.normal(0, 1, (1, 6, tiny_config.hidden_size)).astype(np.float32)
+        captured = {}
+
+        def hook(name, array):
+            if name.endswith("probs"):
+                captured["probs"] = array
+            return array
+
+        attention(x, hook=hook, prefix="a")
+        assert np.allclose(captured["probs"].sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_disentangled_attention_runs(self, rng):
+        config = TransformerConfig(
+            name="tiny-deberta", num_layers=1, hidden_size=16, num_heads=2,
+            intermediate_size=32, vocab_size=64, max_position_embeddings=32,
+            disentangled_attention=True,
+        )
+        model = build_model(config, seed=0)
+        attention = model.encoder.blocks[0].attention
+        assert attention.disentangled
+        x = rng.normal(0, 1, (1, 5, 16)).astype(np.float32)
+        assert attention(x).shape == (1, 5, 16)
+
+
+class TestModelForward:
+    def test_classification_output_shape(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, 12, 4, "classification", seed=0)
+        logits = tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        assert logits.shape == (4, 3)
+
+    def test_regression_output_shape(self, tiny_config):
+        model = build_model(tiny_config, task="regression", seed=1)
+        inputs = generate_inputs(tiny_config.vocab_size, 12, 4, "regression", seed=0)
+        out = model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        assert out.shape == (4,)
+
+    def test_qa_output_shape(self, tiny_config):
+        model = build_model(tiny_config, task="qa", seed=2)
+        inputs = generate_inputs(tiny_config.vocab_size, 12, 4, "qa", seed=0)
+        out = model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        assert out.shape == (4, 12, 2)
+
+    def test_forward_is_deterministic(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, 12, 2, seed=5)
+        a = tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        b = tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        assert np.array_equal(a, b)
+
+    def test_outputs_finite(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, 16, 4, seed=6)
+        out = tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+        assert np.isfinite(out).all()
+
+    def test_sequence_longer_than_positions_rejected(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, tiny_config.max_position_embeddings + 1, 1)
+        with pytest.raises(ValueError):
+            tiny_model(inputs.token_ids)
+
+    def test_invalid_task_rejected(self, tiny_model):
+        from repro.transformer.model import TransformerModel
+
+        with pytest.raises(ValueError):
+            TransformerModel(
+                config=tiny_model.config,
+                embeddings=tiny_model.embeddings,
+                encoder=tiny_model.encoder,
+                pooler=tiny_model.pooler,
+                head=tiny_model.head,
+                task="translation",
+            )
+
+
+class TestParameterAccess:
+    def test_named_parameters_cover_all_modules(self, tiny_model):
+        names = [n for n, _ in tiny_model.named_parameters()]
+        assert any(n.startswith("embeddings.token") for n in names)
+        assert any("encoder.0.attention.query" in n for n in names)
+        assert any("encoder.1.ffn.output" in n for n in names)
+        assert any(n.startswith("pooler.") for n in names)
+        assert any(n.startswith("head.") for n in names)
+
+    def test_set_parameter_round_trip(self, tiny_model):
+        name = "encoder.0.attention.query.weight"
+        params = dict(tiny_model.named_parameters())
+        original = params[name].copy()
+        tiny_model.set_parameter(name, original * 2.0)
+        assert np.allclose(dict(tiny_model.named_parameters())[name], original * 2.0)
+        tiny_model.set_parameter(name, original)
+
+    def test_set_unknown_parameter_rejected(self, tiny_model):
+        with pytest.raises(KeyError):
+            tiny_model.set_parameter("decoder.0.weight", np.zeros(1))
+
+    def test_weight_matrices_exclude_biases_and_norms(self, tiny_model):
+        matrices = tiny_model.weight_matrices()
+        assert all(v.ndim >= 2 for v in matrices.values())
+        assert not any(name.endswith((".bias", ".gamma", ".beta")) for name in matrices)
+
+    def test_copy_is_independent(self, tiny_model):
+        twin = tiny_model.copy()
+        name = "pooler.weight"
+        twin.set_parameter(name, np.zeros_like(dict(twin.named_parameters())[name]))
+        assert not np.allclose(
+            dict(tiny_model.named_parameters())[name],
+            dict(twin.named_parameters())[name],
+        )
+
+    def test_num_parameters_positive(self, tiny_model):
+        assert tiny_model.num_parameters() > 10_000
+
+
+class TestHooks:
+    def test_hook_names_cover_all_activation_sites(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, 8, 2, seed=9)
+        seen = []
+
+        def hook(name, array):
+            seen.append(name)
+            return array
+
+        tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask, hook=hook)
+        assert "embeddings.output" in seen
+        assert "encoder.0.attention.query" in seen
+        assert "encoder.1.ffn.output" in seen
+        assert "pooler.output" in seen
+        assert "head.output" in seen
+
+    def test_hook_can_modify_activations(self, tiny_model, tiny_config):
+        inputs = generate_inputs(tiny_config.vocab_size, 8, 2, seed=9)
+        plain = tiny_model(inputs.token_ids, inputs.segment_ids, inputs.attention_mask)
+
+        def zero_ffn(name, array):
+            if name.endswith("ffn.output"):
+                return np.zeros_like(array)
+            return array
+
+        modified = tiny_model(
+            inputs.token_ids, inputs.segment_ids, inputs.attention_mask, hook=zero_ffn
+        )
+        assert not np.allclose(plain, modified)
