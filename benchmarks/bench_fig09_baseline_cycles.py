@@ -11,17 +11,19 @@ from conftest import BUFFER_SWEEP, KB
 from repro.analysis.reporting import format_table
 
 
-def _compute(simulators, workloads):
-    baseline = simulators["tensor-cores"]
+def _compute(campaign, workloads):
     return {
-        name: {size: baseline.simulate(wl, size) for size in BUFFER_SWEEP}
-        for name, wl in workloads.items()
+        name: {
+            size: campaign.result(design="tensor-cores", workload=name, buffer_bytes=size)
+            for size in BUFFER_SWEEP
+        }
+        for name in workloads
     }
 
 
-def test_fig09_baseline_cycle_counts(benchmark, simulators, workloads):
+def test_fig09_baseline_cycle_counts(benchmark, paper_campaign, workloads):
     results = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(paper_campaign, workloads), rounds=1, iterations=1
     )
 
     headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]

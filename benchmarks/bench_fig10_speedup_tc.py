@@ -14,20 +14,20 @@ PAPER_SMALL_BUFFER_SPEEDUP = 11.0
 PAPER_LARGE_BUFFER_SPEEDUP = 4.1
 
 
-def _compute(simulators, workloads):
+def _compute(campaign, workloads):
     speedups = {}
-    for name, wl in workloads.items():
+    for name in workloads:
         speedups[name] = {}
         for size in BUFFER_SWEEP:
-            base = simulators["tensor-cores"].simulate(wl, size)
-            mokey = simulators["mokey"].simulate(wl, size)
+            base = campaign.result(design="tensor-cores", workload=name, buffer_bytes=size)
+            mokey = campaign.result(design="mokey", workload=name, buffer_bytes=size)
             speedups[name][size] = mokey.speedup_over(base)
     return speedups
 
 
-def test_fig10_mokey_speedup_over_tensor_cores(benchmark, simulators, workloads):
+def test_fig10_mokey_speedup_over_tensor_cores(benchmark, paper_campaign, workloads):
     speedups = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(paper_campaign, workloads), rounds=1, iterations=1
     )
 
     headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]

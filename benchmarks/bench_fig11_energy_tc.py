@@ -11,20 +11,20 @@ from conftest import BUFFER_SWEEP, KB, geomean
 from repro.analysis.reporting import format_table
 
 
-def _compute(simulators, workloads):
+def _compute(campaign, workloads):
     efficiency = {}
-    for name, wl in workloads.items():
+    for name in workloads:
         efficiency[name] = {}
         for size in BUFFER_SWEEP:
-            base = simulators["tensor-cores"].simulate(wl, size)
-            mokey = simulators["mokey"].simulate(wl, size)
+            base = campaign.result(design="tensor-cores", workload=name, buffer_bytes=size)
+            mokey = campaign.result(design="mokey", workload=name, buffer_bytes=size)
             efficiency[name][size] = mokey.energy_efficiency_over(base)
     return efficiency
 
 
-def test_fig11_mokey_energy_efficiency_over_tensor_cores(benchmark, simulators, workloads):
+def test_fig11_mokey_energy_efficiency_over_tensor_cores(benchmark, paper_campaign, workloads):
     efficiency = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(paper_campaign, workloads), rounds=1, iterations=1
     )
 
     headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]

@@ -10,20 +10,20 @@ from conftest import BUFFER_SWEEP, KB, geomean
 from repro.analysis.reporting import format_table
 
 
-def _compute(simulators, workloads):
+def _compute(campaign, workloads):
     speedups = {}
-    for name, wl in workloads.items():
+    for name in workloads:
         speedups[name] = {}
         for size in BUFFER_SWEEP:
-            gobo = simulators["gobo"].simulate(wl, size)
-            mokey = simulators["mokey"].simulate(wl, size)
+            gobo = campaign.result(design="gobo", workload=name, buffer_bytes=size)
+            mokey = campaign.result(design="mokey", workload=name, buffer_bytes=size)
             speedups[name][size] = mokey.speedup_over(gobo)
     return speedups
 
 
-def test_fig12_mokey_speedup_over_gobo(benchmark, simulators, workloads):
+def test_fig12_mokey_speedup_over_gobo(benchmark, paper_campaign, workloads):
     speedups = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(paper_campaign, workloads), rounds=1, iterations=1
     )
 
     headers = ["workload"] + [f"{size // KB}KB" for size in BUFFER_SWEEP]

@@ -7,31 +7,29 @@ adds the most on top of OC when buffers are small.
 
 from conftest import BUFFER_SWEEP, KB, geomean
 
-from repro.accelerator.compression_modes import CompressionMode, tensor_cores_with_mokey_compression
-from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.compression_modes import COMPRESSION_MODE_DESIGNS as MODE_DESIGNS
+from repro.accelerator.compression_modes import CompressionMode
 from repro.analysis.reporting import format_table
 
 MODES = (CompressionMode.OFF_CHIP, CompressionMode.OFF_CHIP_AND_ON_CHIP)
 
 
-def _compute(simulators, workloads):
-    sims = {
-        mode: AcceleratorSimulator(tensor_cores_with_mokey_compression(mode)) for mode in MODES
-    }
+def _compute(campaign, workloads):
     results = {mode: {} for mode in MODES}
-    for name, wl in workloads.items():
+    for name in workloads:
         for size in BUFFER_SWEEP:
-            base = simulators["tensor-cores"].simulate(wl, size)
+            base = campaign.result(design="tensor-cores", workload=name, buffer_bytes=size)
             for mode in MODES:
-                results[mode].setdefault(name, {})[size] = (
-                    sims[mode].simulate(wl, size).speedup_over(base)
+                compressed = campaign.result(
+                    design=MODE_DESIGNS[mode], workload=name, buffer_bytes=size
                 )
+                results[mode].setdefault(name, {})[size] = compressed.speedup_over(base)
     return results
 
 
-def test_fig14_memory_compression_speedup(benchmark, simulators, workloads):
+def test_fig14_memory_compression_speedup(benchmark, compression_campaign, workloads):
     results = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(compression_campaign, workloads), rounds=1, iterations=1
     )
 
     for mode in MODES:

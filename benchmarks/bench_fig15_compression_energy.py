@@ -10,33 +10,32 @@ at least matches OC.
 
 from conftest import BUFFER_SWEEP, KB, geomean
 
-from repro.accelerator.compression_modes import CompressionMode, tensor_cores_with_mokey_compression
-from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.compression_modes import COMPRESSION_MODE_DESIGNS as MODE_DESIGNS
+from repro.accelerator.compression_modes import CompressionMode
 from repro.analysis.reporting import format_table
 
 MODES = (CompressionMode.OFF_CHIP, CompressionMode.OFF_CHIP_AND_ON_CHIP)
 
 
-def _compute(simulators, workloads):
-    sims = {
-        mode: AcceleratorSimulator(tensor_cores_with_mokey_compression(mode)) for mode in MODES
-    }
+def _compute(campaign, workloads):
     gains = {mode: {} for mode in MODES}
     traffic_ratio = {}
-    for name, wl in workloads.items():
+    for name in workloads:
         for size in BUFFER_SWEEP:
-            base = simulators["tensor-cores"].simulate(wl, size)
+            base = campaign.result(design="tensor-cores", workload=name, buffer_bytes=size)
             for mode in MODES:
-                result = sims[mode].simulate(wl, size)
+                result = campaign.result(
+                    design=MODE_DESIGNS[mode], workload=name, buffer_bytes=size
+                )
                 gains[mode].setdefault(name, {})[size] = result.energy_efficiency_over(base)
                 if mode is CompressionMode.OFF_CHIP and size == 256 * KB:
                     traffic_ratio[name] = base.traffic_bytes / result.traffic_bytes
     return gains, traffic_ratio
 
 
-def test_fig15_memory_compression_energy(benchmark, simulators, workloads):
+def test_fig15_memory_compression_energy(benchmark, compression_campaign, workloads):
     gains, traffic_ratio = benchmark.pedantic(
-        lambda: _compute(simulators, workloads), rounds=1, iterations=1
+        lambda: _compute(compression_campaign, workloads), rounds=1, iterations=1
     )
 
     for mode in MODES:

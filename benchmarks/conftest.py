@@ -31,11 +31,17 @@ from repro.accelerator.workloads import paper_workloads
 from repro.core.golden_dictionary import generate_golden_dictionary
 from repro.core.model_quantizer import MokeyModelQuantizer
 from repro.core.quantizer import MokeyQuantizer
+from repro.experiments import ResultCache, expand_grid, run_campaign
+from repro.transformer.model_zoo import PAPER_MODELS
 
 KB = 1024
 MB = 1024 * 1024
 # The buffer-capacity sweep of Figures 9-15.
 BUFFER_SWEEP = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+
+# The paper's Table I (model, task, sequence length) pairs as campaign
+# workload specs.
+PAPER_WORKLOAD_SPECS = tuple((m, t, s) for (m, t, s, _head) in PAPER_MODELS)
 
 
 @pytest.fixture(scope="session")
@@ -68,6 +74,38 @@ def simulators():
 def workloads():
     """The eight model/task workloads of the paper's evaluation."""
     return {wl.name: wl for wl in paper_workloads()}
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """One result cache shared by every campaign-driven benchmark."""
+    return ResultCache()
+
+
+@pytest.fixture(scope="session")
+def paper_campaign(campaign_cache):
+    """Paper workloads x (Tensor Cores, GOBO, Mokey) x buffer sweep."""
+    scenarios = expand_grid(
+        workloads=PAPER_WORKLOAD_SPECS,
+        designs=("tensor-cores", "gobo", "mokey"),
+        buffer_bytes=BUFFER_SWEEP,
+    )
+    return run_campaign(scenarios, cache=campaign_cache)
+
+
+@pytest.fixture(scope="session")
+def compression_campaign(campaign_cache):
+    """Paper workloads x Tensor Cores +/- Mokey compression x buffer sweep."""
+    scenarios = expand_grid(
+        workloads=PAPER_WORKLOAD_SPECS,
+        designs=(
+            "tensor-cores",
+            "tensor-cores+mokey-oc",
+            "tensor-cores+mokey-oc+on",
+        ),
+        buffer_bytes=BUFFER_SWEEP,
+    )
+    return run_campaign(scenarios, cache=campaign_cache)
 
 
 def geomean(values) -> float:

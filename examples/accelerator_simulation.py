@@ -1,8 +1,9 @@
 """Simulate the Mokey accelerator against Tensor Cores and GOBO (Fig. 9-13 flow).
 
-Sweeps the on-chip buffer capacity for a chosen model/task workload and
-prints cycle counts, speedups, energy breakdowns and chip areas for the
-three accelerator designs the paper evaluates.
+Sweeps the on-chip buffer capacity for a chosen model/task workload
+through the campaign engine (one ``run_campaign`` call covers the full
+design x buffer grid) and prints cycle counts, speedups, energy breakdowns
+and chip areas for the three accelerator designs the paper evaluates.
 
 Run with::
 
@@ -13,32 +14,32 @@ e.g. ``python examples/accelerator_simulation.py bert-large squad``.
 
 import sys
 
-from repro.accelerator.gobo_accel import gobo_design
-from repro.accelerator.mokey_accel import mokey_design
-from repro.accelerator.simulator import AcceleratorSimulator
-from repro.accelerator.tensor_cores import tensor_cores_design
-from repro.accelerator.workloads import model_workload
 from repro.analysis.reporting import format_table
+from repro.experiments import expand_grid, run_campaign
 
 KB = 1024
 MB = 1024 * 1024
 BUFFERS = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+DESIGNS = ("tensor-cores", "gobo", "mokey")
 
 
 def main(model_name: str = "bert-large", task: str = "squad") -> None:
-    workload = model_workload(model_name, task)
+    scenarios = expand_grid(
+        workloads=[(model_name, task, None)],
+        designs=DESIGNS,
+        buffer_bytes=BUFFERS,
+    )
+    campaign = run_campaign(scenarios)
+
+    workload = scenarios[0].build_workload()
     print(f"workload: {workload.name} — {workload.total_macs / 1e9:.1f} GMACs, "
           f"{workload.num_layers} encoder layers")
 
-    simulators = {
-        "tensor-cores": AcceleratorSimulator(tensor_cores_design()),
-        "gobo": AcceleratorSimulator(gobo_design()),
-        "mokey": AcceleratorSimulator(mokey_design()),
-    }
-
     rows = []
     for size in BUFFERS:
-        results = {name: sim.simulate(workload, size) for name, sim in simulators.items()}
+        results = {
+            name: campaign.result(design=name, buffer_bytes=size) for name in DESIGNS
+        }
         tc, gobo, mokey = results["tensor-cores"], results["gobo"], results["mokey"]
         rows.append([
             f"{size // KB}KB",
@@ -58,11 +59,11 @@ def main(model_name: str = "bert-large", task: str = "squad") -> None:
     ))
 
     # Area story at the 512KB point (Table II / III flavour).
-    results = {name: sim.simulate(workload, 512 * KB) for name, sim in simulators.items()}
     area_rows = [
         [name, f"{r.area.compute:.1f}", f"{r.area.buffer:.1f}", f"{r.area.total:.1f}",
          f"{100 * r.overlap_fraction:.0f}%"]
-        for name, r in results.items()
+        for name in DESIGNS
+        for r in [campaign.result(design=name, buffer_bytes=512 * KB)]
     ]
     print()
     print(format_table(

@@ -15,15 +15,9 @@ Run with::
 
 import numpy as np
 
-from repro.accelerator.compression_modes import (
-    CompressionMode,
-    tensor_cores_with_mokey_compression,
-)
-from repro.accelerator.simulator import AcceleratorSimulator
-from repro.accelerator.tensor_cores import tensor_cores_design
-from repro.accelerator.workloads import model_workload
 from repro.analysis.reporting import format_table
 from repro.core.quantizer import MokeyQuantizer
+from repro.experiments import expand_grid, run_campaign
 from repro.memory.layout import pack_offchip, unpack_offchip
 
 KB = 1024
@@ -52,18 +46,23 @@ def container_demo() -> None:
 
 
 def system_demo() -> None:
-    workload = model_workload("bert-large", "squad")
-    baseline = AcceleratorSimulator(tensor_cores_design())
-    oc = AcceleratorSimulator(tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP))
-    ocon = AcceleratorSimulator(
-        tensor_cores_with_mokey_compression(CompressionMode.OFF_CHIP_AND_ON_CHIP)
+    campaign = run_campaign(
+        expand_grid(
+            workloads=[("bert-large", "squad", None)],
+            designs=(
+                "tensor-cores",
+                "tensor-cores+mokey-oc",
+                "tensor-cores+mokey-oc+on",
+            ),
+            buffer_bytes=BUFFERS,
+        )
     )
 
     rows = []
     for size in BUFFERS:
-        base = baseline.simulate(workload, size)
-        r_oc = oc.simulate(workload, size)
-        r_ocon = ocon.simulate(workload, size)
+        base = campaign.result(design="tensor-cores", buffer_bytes=size)
+        r_oc = campaign.result(design="tensor-cores+mokey-oc", buffer_bytes=size)
+        r_ocon = campaign.result(design="tensor-cores+mokey-oc+on", buffer_bytes=size)
         rows.append([
             f"{size // KB}KB",
             f"{base.traffic_bytes / 1e9:.2f}GB",

@@ -15,13 +15,20 @@ The package is organised as follows:
 ``repro.baselines``
     Competing quantization methods used in the paper's Table IV
     (GOBO, Q8BERT, I-BERT, Q-BERT, TernaryBERT).
+``repro.schemes``
+    The pluggable quantization-scheme registry: every method's numerics
+    *and* accelerator cost model behind one interface, looked up by name.
 ``repro.memory``
     Memory-system substrate: the Mokey DRAM container, compression
     accounting, a DDR4 main-memory model and an SRAM buffer model.
 ``repro.accelerator``
-    Cycle/energy level accelerator models: FP16 Tensor-Cores baseline,
-    the GOBO accelerator and the Mokey accelerator, plus the
-    memory-compression-only deployment modes.
+    Staged accelerator simulation (datapath / memory / overlap models):
+    FP16 Tensor-Cores baseline, the GOBO accelerator and the Mokey
+    accelerator, plus the memory-compression-only deployment modes.
+``repro.experiments``
+    The scenario/campaign sweep engine: grid expansion over models, tasks,
+    sequence lengths, batch sizes, schemes, designs and buffer sizes, with
+    an in-process result cache and ``concurrent.futures`` fan-out.
 ``repro.analysis``
     Footprint analysis and report formatting shared by the benchmarks.
 """
@@ -33,6 +40,8 @@ from repro.core.exponential_fit import ExponentialFit, fit_exponential
 from repro.transformer.config import TransformerConfig
 from repro.transformer.model import TransformerModel
 from repro.transformer import model_zoo
+from repro.schemes import QuantizationScheme, available_schemes, get_scheme, register_scheme
+from repro.experiments import Scenario, expand_grid, run_campaign
 
 __version__ = "1.0.0"
 
@@ -48,5 +57,12 @@ __all__ = [
     "TransformerConfig",
     "TransformerModel",
     "model_zoo",
+    "QuantizationScheme",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "Scenario",
+    "expand_grid",
+    "run_campaign",
     "__version__",
 ]

@@ -17,8 +17,15 @@ from repro.accelerator.workloads import GemmShape, Workload, model_workload, enc
 from repro.accelerator.tensor_cores import tensor_cores_design
 from repro.accelerator.gobo_accel import gobo_design
 from repro.accelerator.mokey_accel import mokey_design
-from repro.accelerator.designs import AcceleratorDesign
-from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.designs import AcceleratorDesign, DEFAULT_REGISTER_REUSE
+from repro.accelerator.simulator import (
+    AcceleratorSimulator,
+    DatapathModel,
+    MemoryModel,
+    MemoryPhase,
+    OverlapModel,
+    OverlapParameters,
+)
 from repro.accelerator.compression_modes import (
     tensor_cores_with_mokey_compression,
     CompressionMode,
@@ -35,10 +42,16 @@ __all__ = [
     "model_workload",
     "encoder_gemms",
     "AcceleratorDesign",
+    "DEFAULT_REGISTER_REUSE",
     "tensor_cores_design",
     "gobo_design",
     "mokey_design",
     "AcceleratorSimulator",
+    "DatapathModel",
+    "MemoryModel",
+    "MemoryPhase",
+    "OverlapModel",
+    "OverlapParameters",
     "tensor_cores_with_mokey_compression",
     "CompressionMode",
 ]

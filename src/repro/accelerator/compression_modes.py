@@ -18,10 +18,13 @@ import enum
 from typing import Dict
 
 from repro.accelerator.designs import AcceleratorDesign
-from repro.accelerator.mokey_accel import MOKEY_OFFCHIP_BITS, MOKEY_ONCHIP_BITS
 from repro.accelerator.tensor_cores import tensor_cores_design
 
-__all__ = ["CompressionMode", "tensor_cores_with_mokey_compression"]
+__all__ = [
+    "CompressionMode",
+    "COMPRESSION_MODE_DESIGNS",
+    "tensor_cores_with_mokey_compression",
+]
 
 
 class CompressionMode(enum.Enum):
@@ -30,6 +33,15 @@ class CompressionMode(enum.Enum):
     NONE = "none"
     OFF_CHIP = "oc"
     OFF_CHIP_AND_ON_CHIP = "oc+on"
+
+
+#: Registered design name for each compression deployment (the names the
+#: experiments design registry and the benchmarks share).
+COMPRESSION_MODE_DESIGNS: Dict[CompressionMode, str] = {
+    CompressionMode.NONE: "tensor-cores",
+    CompressionMode.OFF_CHIP: "tensor-cores+mokey-oc",
+    CompressionMode.OFF_CHIP_AND_ON_CHIP: "tensor-cores+mokey-oc+on",
+}
 
 
 def tensor_cores_with_mokey_compression(
@@ -44,23 +56,10 @@ def tensor_cores_with_mokey_compression(
     base = tensor_cores_design(num_units)
     if mode is CompressionMode.NONE:
         return base
+    # The storage widths come from the registered mokey-oc / mokey-oc+on
+    # schemes (single source of truth for the Section IV-D deployments).
     if mode is CompressionMode.OFF_CHIP:
-        return base.with_buffer_bits(
-            name="tensor-cores+mokey-oc",
-            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
-            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
-            weight_bits_onchip=16.0,
-            activation_bits_onchip=16.0,
-            decompression_lut=True,
-        )
+        return base.with_scheme("mokey-oc", name=COMPRESSION_MODE_DESIGNS[mode])
     if mode is CompressionMode.OFF_CHIP_AND_ON_CHIP:
-        return base.with_buffer_bits(
-            name="tensor-cores+mokey-oc+on",
-            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
-            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
-            weight_bits_onchip=MOKEY_ONCHIP_BITS,
-            activation_bits_onchip=MOKEY_ONCHIP_BITS,
-            buffer_interface_bits=5,
-            decompression_lut=True,
-        )
+        return base.with_scheme("mokey-oc+on", name=COMPRESSION_MODE_DESIGNS[mode])
     raise ValueError(f"unsupported compression mode: {mode}")

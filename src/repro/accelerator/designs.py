@@ -2,9 +2,13 @@
 
 An :class:`AcceleratorDesign` captures everything the simulator needs to
 know about a design: how many processing elements it has and what they
-cost, which datapath family they implement, and how many bits weights and
-activations occupy off-chip and on-chip (which is where quantization and
-the memory-compression modes enter the model).
+cost, which quantization scheme its datapath implements (a key into the
+:mod:`repro.schemes` registry), and how many bits weights and activations
+occupy off-chip and on-chip (which is where quantization and the
+memory-compression modes enter the model).
+
+The design is pure parameters; all per-scheme behaviour lives in the
+scheme object the ``datapath`` name resolves to.
 """
 
 from __future__ import annotations
@@ -14,7 +18,12 @@ from typing import Optional
 
 from repro.accelerator.energy import DEFAULT_AREAS, DEFAULT_ENERGIES, OperationEnergies
 
-__all__ = ["AcceleratorDesign"]
+__all__ = ["AcceleratorDesign", "DEFAULT_REGISTER_REUSE"]
+
+# Register-file level operand reuse inside the PE array: each value fetched
+# from the on-chip buffer is used this many times on average before being
+# re-read (spatial reuse across the unit array).
+DEFAULT_REGISTER_REUSE = 16.0
 
 
 @dataclass(frozen=True)
@@ -23,7 +32,8 @@ class AcceleratorDesign:
 
     Attributes:
         name: Design label used in reports.
-        datapath: One of ``"fp16"`` (Tensor Cores), ``"gobo"`` or ``"mokey"``.
+        datapath: Name of a registered :mod:`repro.schemes` scheme
+            (e.g. ``"fp16"``, ``"gobo"``, ``"mokey"``, ``"mokey-oc"``).
         num_units: Number of processing elements (MAC units or GPEs).
         unit_area_mm2: Area per processing element.
         weight_bits_offchip: Bits per weight value in DRAM.
@@ -40,6 +50,9 @@ class AcceleratorDesign:
             when read into the datapath (GOBO weights, compression modes).
         energies: Per-operation energy constants.
         clock_hz: Operating frequency.
+        register_reuse: Average uses per value fetched from the on-chip
+            buffer before it is re-read (PE-array register/spatial reuse);
+            divides the buffer read traffic in the SRAM energy model.
     """
 
     name: str
@@ -57,12 +70,22 @@ class AcceleratorDesign:
     decompression_lut: bool = False
     energies: OperationEnergies = field(default_factory=lambda: DEFAULT_ENERGIES)
     clock_hz: float = 1e9
+    register_reuse: float = DEFAULT_REGISTER_REUSE
 
     def __post_init__(self) -> None:
-        if self.datapath not in ("fp16", "gobo", "mokey"):
-            raise ValueError(f"unknown datapath {self.datapath!r}")
+        self.scheme()  # raises ValueError for unknown datapath names
         if self.num_units <= 0:
             raise ValueError("num_units must be positive")
+        if self.register_reuse <= 0:
+            raise ValueError("register_reuse must be positive")
+
+    def scheme(self):
+        """The registered :class:`~repro.schemes.base.QuantizationScheme`."""
+        # Imported here: repro.schemes modules import this module for type
+        # hints/constants, so a top-level import would be circular.
+        from repro.schemes import get_scheme
+
+        return get_scheme(self.datapath)
 
     @property
     def compute_area_mm2(self) -> float:
@@ -83,6 +106,7 @@ class AcceleratorDesign:
         name: Optional[str] = None,
         decompression_lut: Optional[bool] = None,
         buffer_interface_bits: Optional[int] = None,
+        datapath: Optional[str] = None,
     ) -> "AcceleratorDesign":
         """Return a variant with different storage precisions (compression modes)."""
         updates = {}
@@ -100,4 +124,31 @@ class AcceleratorDesign:
             updates["decompression_lut"] = decompression_lut
         if buffer_interface_bits is not None:
             updates["buffer_interface_bits"] = buffer_interface_bits
+        if datapath is not None:
+            updates["datapath"] = datapath
         return replace(self, **updates)
+
+    def with_scheme(self, scheme_name: str, name: Optional[str] = None) -> "AcceleratorDesign":
+        """Return a variant running ``scheme_name`` with that scheme's storage widths.
+
+        The PE array (unit count, areas, energies, clock) is kept; the
+        storage-related fields and the scheme-coupled outlier fractions are
+        reset to the scheme's defaults.  This is what the campaign engine
+        uses to sweep schemes over a fixed design.
+        """
+        from repro.schemes import get_scheme
+
+        storage = get_scheme(scheme_name).storage()
+        return replace(
+            self,
+            name=name or f"{self.name}[{scheme_name}]",
+            datapath=scheme_name,
+            weight_bits_offchip=storage.weight_bits_offchip,
+            activation_bits_offchip=storage.activation_bits_offchip,
+            weight_bits_onchip=storage.weight_bits_onchip,
+            activation_bits_onchip=storage.activation_bits_onchip,
+            buffer_interface_bits=storage.buffer_interface_bits,
+            decompression_lut=storage.decompression_lut,
+            weight_outlier_fraction=storage.weight_outlier_fraction,
+            activation_outlier_fraction=storage.activation_outlier_fraction,
+        )

@@ -11,11 +11,12 @@ from __future__ import annotations
 from repro.accelerator.designs import AcceleratorDesign
 from repro.accelerator.energy import DEFAULT_AREAS
 
-__all__ = ["gobo_design"]
+__all__ = ["gobo_design", "GOBO_WEIGHT_BITS"]
 
 # Effective bits per stored weight value: 3-bit indexes for ~99.9% of the
 # values plus FP32 outliers and the per-tensor dictionary amortise to ~3.3b.
-_GOBO_WEIGHT_BITS = 3.3
+GOBO_WEIGHT_BITS = 3.3
+_GOBO_WEIGHT_BITS = GOBO_WEIGHT_BITS  # backwards-compatible alias
 
 
 def gobo_design(num_units: int = 2560) -> AcceleratorDesign:

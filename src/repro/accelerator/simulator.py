@@ -1,12 +1,26 @@
-"""End-to-end accelerator simulation.
+"""End-to-end accelerator simulation, decomposed into composable stages.
 
-For a given workload (model/task/sequence length), accelerator design and
-on-chip buffer capacity, the simulator produces the quantities the paper's
-evaluation section reports: compute cycles, memory transfer cycles, total
-cycles after compute/memory overlap, off-chip traffic, an energy breakdown
-(DRAM / on-chip SRAM / compute) and an area breakdown (compute array /
-buffers).  All encoder layers of a model are identical, so the simulator
-models one layer in detail and scales by the layer count.
+For a given workload (model/task/sequence length/batch), accelerator
+design and on-chip buffer capacity, the simulator produces the quantities
+the paper's evaluation section reports: compute cycles, memory transfer
+cycles, total cycles after compute/memory overlap, off-chip traffic, an
+energy breakdown (DRAM / on-chip SRAM / compute) and an area breakdown
+(compute array / buffers).  All encoder layers of a model are identical,
+so the simulator models one layer in detail and scales by the layer count.
+
+The simulation is staged:
+
+* :class:`DatapathModel` — dispatches to the design's registered
+  :class:`~repro.schemes.base.QuantizationScheme` for compute cycles and
+  energy (there is no per-method branching here; adding a method is a
+  scheme registration);
+* :class:`MemoryModel` — off-chip traffic (via the dataflow planner),
+  DRAM cycles/energy and on-chip buffer access energy;
+* :class:`OverlapModel` — how much of the shorter phase (compute or
+  memory) hides behind the longer one.
+
+Each stage can be replaced independently when constructing an
+:class:`AcceleratorSimulator`.
 """
 
 from __future__ import annotations
@@ -17,103 +31,81 @@ from typing import Dict, Optional, Tuple
 from repro.accelerator.dataflow import LayerTraffic, activation_working_set_bits, plan_layer
 from repro.accelerator.designs import AcceleratorDesign
 from repro.accelerator.metrics import AreaBreakdown, EnergyBreakdown, SimulationResult
-from repro.accelerator.mokey_accel import POST_PROCESSING_MACS_PER_OUTPUT
 from repro.accelerator.workloads import Workload
 from repro.memory.dram import DramModel
 from repro.memory.sram import SramBuffer
+from repro.schemes.base import ComputePhase
 
-__all__ = ["AcceleratorSimulator"]
+__all__ = [
+    "AcceleratorSimulator",
+    "DatapathModel",
+    "MemoryModel",
+    "MemoryPhase",
+    "OverlapModel",
+    "OverlapParameters",
+]
 
-# Register-file level operand reuse inside the PE array: each value fetched
-# from the on-chip buffer is used this many times on average before being
-# re-read (spatial reuse across the unit array).
-_REGISTER_REUSE = 16.0
+
+class DatapathModel:
+    """Compute stage: delegates one layer's cycles/energy to the scheme."""
+
+    def layer_compute(self, workload: Workload, design: AcceleratorDesign) -> ComputePhase:
+        return design.scheme().layer_compute(workload, design)
 
 
-class AcceleratorSimulator:
-    """Simulates a workload on an accelerator design.
+@dataclass
+class MemoryPhase:
+    """Outcome of the memory stage for one encoder layer.
+
+    Attributes:
+        traffic: Per-GEMM off-chip traffic plan.
+        cycles: DRAM transfer cycles for the layer.
+        dram_energy_joules: DRAM access energy for the layer.
+        sram_energy_joules: On-chip buffer access energy for the layer.
+    """
+
+    traffic: LayerTraffic
+    cycles: float
+    dram_energy_joules: float
+    sram_energy_joules: float
+
+    @property
+    def traffic_bytes(self) -> float:
+        return self.traffic.total_bytes
+
+
+class MemoryModel:
+    """Memory stage: off-chip traffic, DRAM cycles/energy, SRAM energy.
 
     Args:
-        design: The accelerator design point.
         dram: Main-memory model (DDR4-3200 dual channel by default).
     """
 
-    def __init__(self, design: AcceleratorDesign, dram: Optional[DramModel] = None) -> None:
-        self.design = design
+    def __init__(self, dram: Optional[DramModel] = None) -> None:
         self.dram = dram or DramModel()
 
-    # ------------------------------------------------------------------ #
-    # Compute model
-    # ------------------------------------------------------------------ #
-    def _layer_compute(self, workload: Workload) -> Tuple[float, float, Dict[str, float]]:
-        """Cycles and energy (joules) for the compute of one encoder layer."""
-        design = self.design
-        energies = design.energies
-        macs = sum(g.macs for g in workload.layer_gemms)
-        outputs = sum(g.output_values for g in workload.layer_gemms)
-        weight_values = sum(g.weight_values for g in workload.layer_gemms if g.weight_static)
-        input_values = sum(g.input_values for g in workload.layer_gemms)
+    def layer_memory(
+        self,
+        workload: Workload,
+        design: AcceleratorDesign,
+        buffer: SramBuffer,
+        activation_buffer_fraction: float = 0.5,
+    ) -> MemoryPhase:
+        traffic = plan_layer(
+            workload, design, buffer.capacity_bytes, activation_buffer_fraction
+        )
+        return MemoryPhase(
+            traffic=traffic,
+            cycles=self.dram.transfer_cycles(traffic.total_bytes, design.clock_hz),
+            dram_energy_joules=self.dram.transfer_energy_joules(traffic.total_bytes),
+            sram_energy_joules=self._layer_sram_energy(workload, design, buffer),
+        )
 
-        detail: Dict[str, float] = {"layer_macs": float(macs), "layer_outputs": float(outputs)}
-
-        if design.datapath == "fp16":
-            cycles = macs / design.peak_macs_per_cycle
-            energy_pj = macs * energies.fp16_mac
-            if design.decompression_lut:
-                # Compressed values are expanded through LUTs as they enter
-                # the datapath (memory-compression deployments).
-                energy_pj += (weight_values + input_values) * energies.lut_lookup
-                energy_pj += outputs * energies.quantizer_value
-        elif design.datapath == "gobo":
-            cycles = macs / design.peak_macs_per_cycle
-            # FP16 MACs plus a dictionary lookup per weight value brought
-            # into the PE array.
-            energy_pj = macs * energies.fp16_mac + weight_values * energies.lut_lookup
-        elif design.datapath == "mokey":
-            outlier_pair_fraction = (
-                design.weight_outlier_fraction
-                + design.activation_outlier_fraction
-                - design.weight_outlier_fraction * design.activation_outlier_fraction
-            )
-            gaussian_pairs = macs * (1.0 - outlier_pair_fraction)
-            outlier_pairs = macs * outlier_pair_fraction
-            opp_units = max(1, design.num_units // design.gpes_per_opp)
-
-            gpe_cycles = gaussian_pairs / design.num_units
-            # The shared OPP serialises outlier pairs and the per-output
-            # post-processing drains.  At the paper's outlier rates (<5% of
-            # pairs) one OPP per 8 GPEs keeps up with the GPE stream, so the
-            # OPP only becomes the bottleneck when its total busy time
-            # exceeds the GPE time; a 5% scheduling overhead covers bursts of
-            # simultaneous outliers and drain/accumulate conflicts.
-            outlier_cycles = outlier_pairs / opp_units
-            post_cycles = outputs * POST_PROCESSING_MACS_PER_OUTPUT / opp_units
-            cycles = 1.05 * max(gpe_cycles, outlier_cycles + post_cycles)
-
-            energy_pj = (
-                gaussian_pairs * energies.gaussian_pair
-                + outlier_pairs * (energies.int16_mac + 2 * energies.lut_lookup)
-                + outputs
-                * (POST_PROCESSING_MACS_PER_OUTPUT * energies.int16_mac + energies.quantizer_value)
-            )
-            detail.update(
-                {
-                    "gaussian_pairs": gaussian_pairs,
-                    "outlier_pairs": outlier_pairs,
-                    "post_processing_cycles": post_cycles,
-                }
-            )
-        else:  # pragma: no cover - guarded by AcceleratorDesign validation
-            raise ValueError(f"unknown datapath {design.datapath}")
-
-        return cycles, energy_pj * 1e-12, detail
-
-    # ------------------------------------------------------------------ #
-    # Memory model
-    # ------------------------------------------------------------------ #
-    def _layer_sram_energy(self, workload: Workload, buffer: SramBuffer) -> float:
+    @staticmethod
+    def _layer_sram_energy(
+        workload: Workload, design: AcceleratorDesign, buffer: SramBuffer
+    ) -> float:
         """On-chip buffer access energy of one encoder layer (joules)."""
-        design = self.design
         read_bits = 0.0
         write_bits = 0.0
         for gemm in workload.layer_gemms:
@@ -127,20 +119,108 @@ class AcceleratorSimulator:
             read_bits += (
                 2.0 * gemm.macs
                 * (design.activation_bits_onchip + design.weight_bits_onchip) / 2.0
-                / _REGISTER_REUSE
+                / design.register_reuse
             )
             read_bits += operand_bits  # initial fill of the buffer
             write_bits += gemm.output_values * design.activation_bits_onchip
         return buffer.read_energy_joules(read_bits) + buffer.write_energy_joules(write_bits)
 
-    def _overlap_efficiency(self, workload: Workload, buffer_bytes: int) -> float:
-        """How much of the shorter phase (compute or memory) can be hidden."""
-        act_share_bits = buffer_bytes * 8 * 0.5
-        working_set = activation_working_set_bits(workload, self.design.activation_bits_onchip)
+
+@dataclass(frozen=True)
+class OverlapParameters:
+    """Coefficients of the compute/memory overlap heuristic.
+
+    The overlap efficiency rises linearly with the fraction of the layer's
+    activation working set that fits in the activation share of the buffer
+    (``base_efficiency + residency_slope * ratio``), clamped to
+    ``[min_efficiency, max_efficiency]``.  A fully resident working set
+    approaches perfect double buffering (98%); a badly spilling one still
+    overlaps bursts (25%).
+
+    Attributes:
+        max_efficiency: Ceiling (and the value when the working set is
+            trivially resident).
+        min_efficiency: Floor when the working set dwarfs the buffer.
+        base_efficiency: Intercept of the linear region.
+        residency_slope: Slope of the linear region in the residency ratio.
+    """
+
+    max_efficiency: float = 0.98
+    min_efficiency: float = 0.25
+    base_efficiency: float = 0.3
+    residency_slope: float = 0.7
+
+
+class OverlapModel:
+    """Overlap stage: how much of the shorter phase can be hidden.
+
+    Args:
+        parameters: Heuristic coefficients; paper-calibrated defaults.
+    """
+
+    def __init__(self, parameters: Optional[OverlapParameters] = None) -> None:
+        self.parameters = parameters or OverlapParameters()
+
+    def efficiency(
+        self,
+        workload: Workload,
+        design: AcceleratorDesign,
+        buffer_bytes: int,
+        activation_buffer_fraction: float = 0.5,
+    ) -> float:
+        params = self.parameters
+        act_share_bits = buffer_bytes * 8 * activation_buffer_fraction
+        working_set = activation_working_set_bits(workload, design.activation_bits_onchip)
         if working_set <= 0:
-            return 0.98
+            return params.max_efficiency
         ratio = act_share_bits / working_set
-        return float(min(0.98, max(0.25, 0.3 + 0.7 * ratio)))
+        return float(
+            min(
+                params.max_efficiency,
+                max(
+                    params.min_efficiency,
+                    params.base_efficiency + params.residency_slope * ratio,
+                ),
+            )
+        )
+
+    @staticmethod
+    def combine(compute_cycles: float, memory_cycles: float, efficiency: float) -> float:
+        """Total cycles after hiding ``efficiency`` of the shorter phase."""
+        return max(compute_cycles, memory_cycles) + (1.0 - efficiency) * min(
+            compute_cycles, memory_cycles
+        )
+
+
+class AcceleratorSimulator:
+    """Simulates a workload on an accelerator design.
+
+    Args:
+        design: The accelerator design point.
+        dram: Main-memory model (DDR4-3200 dual channel by default);
+            shorthand for passing ``memory=MemoryModel(dram)``.
+        datapath: Compute stage; scheme-dispatching default.
+        memory: Memory stage.
+        overlap: Overlap stage.
+    """
+
+    def __init__(
+        self,
+        design: AcceleratorDesign,
+        dram: Optional[DramModel] = None,
+        datapath: Optional[DatapathModel] = None,
+        memory: Optional[MemoryModel] = None,
+        overlap: Optional[OverlapModel] = None,
+    ) -> None:
+        self.design = design
+        self.datapath = datapath or DatapathModel()
+        self.memory = memory or MemoryModel(dram)
+        self.overlap = overlap or OverlapModel()
+
+    @property
+    def dram(self) -> DramModel:
+        """The memory stage's DRAM model (backwards-compatible accessor)."""
+        return self.memory.dram
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -162,34 +242,30 @@ class AcceleratorSimulator:
         design = self.design
         buffer = SramBuffer(buffer_bytes, design.buffer_interface_bits)
 
-        traffic: LayerTraffic = plan_layer(
+        compute = self.datapath.layer_compute(workload, design)
+        memory = self.memory.layer_memory(
+            workload, design, buffer, activation_buffer_fraction
+        )
+        overlap = self.overlap.efficiency(
             workload, design, buffer_bytes, activation_buffer_fraction
         )
-        layer_memory_bytes = traffic.total_bytes
-        layer_memory_cycles = self.dram.transfer_cycles(layer_memory_bytes, design.clock_hz)
-        layer_compute_cycles, layer_compute_energy, detail = self._layer_compute(workload)
-        layer_sram_energy = self._layer_sram_energy(workload, buffer)
-        layer_dram_energy = self.dram.transfer_energy_joules(layer_memory_bytes)
-
-        overlap = self._overlap_efficiency(workload, buffer_bytes)
-        layer_total_cycles = max(layer_compute_cycles, layer_memory_cycles) + (
-            1.0 - overlap
-        ) * min(layer_compute_cycles, layer_memory_cycles)
+        layer_total_cycles = self.overlap.combine(compute.cycles, memory.cycles, overlap)
 
         layers = workload.num_layers
         energy = EnergyBreakdown(
-            dram=layer_dram_energy * layers,
-            sram=layer_sram_energy * layers,
-            compute=layer_compute_energy * layers,
+            dram=memory.dram_energy_joules * layers,
+            sram=memory.sram_energy_joules * layers,
+            compute=compute.energy_joules * layers,
         )
         area = AreaBreakdown(compute=design.compute_area_mm2, buffer=buffer.area_mm2)
 
+        detail = dict(compute.detail)
         detail.update(
             {
-                "layer_traffic_bytes": layer_memory_bytes,
-                "weight_traffic_bytes": traffic.weight_bytes * layers,
-                "activation_traffic_bytes": traffic.activation_bytes * layers,
-                "activations_resident": float(traffic.activations_resident),
+                "layer_traffic_bytes": memory.traffic_bytes,
+                "weight_traffic_bytes": memory.traffic.weight_bytes * layers,
+                "activation_traffic_bytes": memory.traffic.activation_bytes * layers,
+                "activations_resident": float(memory.traffic.activations_resident),
                 "overlap_efficiency": overlap,
             }
         )
@@ -198,10 +274,10 @@ class AcceleratorSimulator:
             design_name=design.name,
             workload_name=workload.name,
             buffer_bytes=buffer_bytes,
-            compute_cycles=layer_compute_cycles * layers,
-            memory_cycles=layer_memory_cycles * layers,
+            compute_cycles=compute.cycles * layers,
+            memory_cycles=memory.cycles * layers,
             total_cycles=layer_total_cycles * layers,
-            traffic_bytes=layer_memory_bytes * layers,
+            traffic_bytes=memory.traffic_bytes * layers,
             energy=energy,
             area=area,
             detail=detail,

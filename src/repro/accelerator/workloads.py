@@ -11,6 +11,7 @@ SQuAD results.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -112,11 +113,41 @@ class Workload:
     def activation_values_per_layer(self) -> int:
         return sum(g.output_values for g in self.layer_gemms)
 
+    def with_batch_size(self, batch_size: int) -> "Workload":
+        """Re-derive this workload at a different batch size.
+
+        The GEMM shapes are rebuilt so the batch dimension flows through
+        the token counts (and the per-head GEMM repetition counts) exactly
+        as :func:`encoder_gemms` produces them.
+        """
+        base_name = re.sub(r"/bs\d+$", "", self.name)
+        name = base_name if batch_size == 1 else f"{base_name}/bs{batch_size}"
+        return Workload(
+            name=name,
+            config=self.config,
+            sequence_length=self.sequence_length,
+            batch_size=batch_size,
+            layer_gemms=encoder_gemms(self.config, self.sequence_length, batch_size),
+            num_layers=self.num_layers,
+        )
+
+
+def _workload_name(model_name: str, task: str, sequence_length: int, batch_size: int) -> str:
+    """Canonical workload label; the batch suffix appears only when batched."""
+    name = f"{model_name}/{task}/seq{sequence_length}"
+    if batch_size != 1:
+        name += f"/bs{batch_size}"
+    return name
+
 
 def encoder_gemms(
     config: TransformerConfig, sequence_length: int, batch_size: int = 1
 ) -> List[GemmShape]:
     """The GEMMs of one encoder layer at a given sequence length."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if sequence_length < 1:
+        raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
     tokens = sequence_length * batch_size
     h = config.hidden_size
     heads = config.num_heads
@@ -174,7 +205,7 @@ def model_workload(
         sequence_length = TASK_SEQUENCE_LENGTHS.get(task, 128)
     gemms = encoder_gemms(config, sequence_length, batch_size)
     return Workload(
-        name=f"{model_name}/{task}/seq{sequence_length}",
+        name=_workload_name(model_name, task, sequence_length, batch_size),
         config=config,
         sequence_length=sequence_length,
         batch_size=batch_size,

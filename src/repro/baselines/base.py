@@ -74,12 +74,29 @@ class BaselineResult:
 
 
 class BaselineQuantizer(abc.ABC):
-    """Abstract baseline quantizer."""
+    """Abstract baseline quantizer.
+
+    Every concrete baseline also registers an accelerator-level
+    quantization scheme (see :mod:`repro.schemes`) named
+    :attr:`scheme_name`, so the campaign engine can sweep the method's
+    cost model alongside its numerics.
+    """
+
+    #: Name of the method's registered scheme in :mod:`repro.schemes`.
+    scheme_name: str = ""
 
     @property
     @abc.abstractmethod
     def properties(self) -> MethodProperties:
         """Static Table IV properties of the method."""
+
+    def as_scheme(self):
+        """The registered :class:`~repro.schemes.base.QuantizationScheme`."""
+        if not self.scheme_name:
+            raise ValueError(f"{type(self).__name__} does not declare a scheme_name")
+        from repro.schemes import get_scheme
+
+        return get_scheme(self.scheme_name)
 
     @abc.abstractmethod
     def quantize(

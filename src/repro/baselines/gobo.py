@@ -91,6 +91,7 @@ class GoboQuantizer(BaselineQuantizer):
 
     weight_bits = 3
     activation_bits = 32
+    scheme_name = "gobo"
 
     def __init__(self, dictionary_bits: int = 3, outlier_sigma: float = 3.0) -> None:
         self.dictionary_bits = dictionary_bits

@@ -80,6 +80,7 @@ class IBertQuantizer(BaselineQuantizer):
 
     weight_bits = 8
     activation_bits = 8
+    scheme_name = "ibert"
 
     def __init__(self, calibration_samples: int = 8) -> None:
         self._inner = Q8BertQuantizer(calibration_samples=calibration_samples)

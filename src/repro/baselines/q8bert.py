@@ -47,6 +47,7 @@ class Q8BertQuantizer(BaselineQuantizer):
 
     weight_bits = 8
     activation_bits = 8
+    scheme_name = "q8bert"
 
     def __init__(self, calibration_samples: int = 8) -> None:
         self.calibration_samples = calibration_samples

@@ -53,6 +53,7 @@ class QBertQuantizer(BaselineQuantizer):
 
     weight_bits = 4
     activation_bits = 8
+    scheme_name = "qbert"
 
     def __init__(self, num_groups: int = 128, calibration_samples: int = 8) -> None:
         self.num_groups = num_groups

@@ -45,6 +45,7 @@ class TernaryBertQuantizer(BaselineQuantizer):
 
     weight_bits = 2
     activation_bits = 8
+    scheme_name = "ternarybert"
 
     def __init__(self, calibration_samples: int = 8) -> None:
         self._activation_helper = Q8BertQuantizer(calibration_samples=calibration_samples)

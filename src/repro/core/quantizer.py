@@ -56,15 +56,20 @@ class QuantizedTensor:
         """Bits used by the quantized value stream alone."""
         return self.size * bits_per_value
 
-    def memory_bits(self, bits_per_value: int = 4, group_size: int = 64) -> int:
+    def memory_bits(self, bits_per_value: int = 4, group_size: Optional[int] = None) -> int:
         """Total bits in the off-chip container of Fig. 5.
 
         Includes the 4-bit value stream, the per-group outlier counts and
-        the 6-bit in-group outlier position pointers, plus the per-tensor
+        the in-group outlier position pointers (widths shared with the
+        packer in :mod:`repro.memory.layout`), plus the per-tensor
         dictionary metadata.
         """
+        from repro.memory.layout import COUNT_BITS, GROUP_SIZE, POSITION_BITS
+
+        if group_size is None:
+            group_size = GROUP_SIZE
         num_groups = int(np.ceil(self.size / group_size))
-        pointer_bits = num_groups * 6 + self.outlier_count * 6
+        pointer_bits = num_groups * COUNT_BITS + self.outlier_count * POSITION_BITS
         return self.value_bits(bits_per_value) + pointer_bits + self.dictionary.metadata_bits()
 
     def compression_ratio(self, baseline_bits_per_value: int = 32) -> float:

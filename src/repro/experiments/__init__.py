@@ -1,0 +1,71 @@
+"""Scenario/campaign sweep engine.
+
+The paper's evaluation is a grid: models × tasks × sequence lengths ×
+batch sizes × quantization schemes × accelerator designs × buffer sizes.
+This package owns that grid so benchmarks, examples and future services
+share one sweep loop instead of each re-implementing it:
+
+* :class:`~repro.experiments.scenario.Scenario` — one frozen, hashable
+  grid point, resolvable to a workload and an accelerator design;
+* :func:`~repro.experiments.campaign.expand_grid` — axis values → the
+  scenario list (with explicit workload triples for non-cross-product
+  grids like the paper's Table I);
+* :class:`~repro.experiments.campaign.ResultCache` — in-process,
+  thread-safe result cache keyed by scenario, shared across campaigns;
+* :func:`~repro.experiments.campaign.run_campaign` — fans the scenarios
+  out over ``concurrent.futures`` and returns structured
+  :class:`~repro.experiments.campaign.ScenarioRecord` rows consumable by
+  :mod:`repro.analysis.reporting`.
+
+Usage::
+
+    from repro.experiments import expand_grid, run_campaign
+
+    scenarios = expand_grid(
+        workloads=[("bert-large", "squad", None), ("bert-base", "mnli", None)],
+        designs=("tensor-cores", "mokey"),
+        buffer_bytes=(256 * 1024, 1024 * 1024),
+        batch_sizes=(1, 8),
+    )
+    campaign = run_campaign(scenarios)
+    mokey = campaign.result(design="mokey", model="bert-base",
+                            batch_size=1, buffer_bytes=1024 * 1024)
+    baseline = campaign.result(design="tensor-cores", model="bert-base",
+                               batch_size=1, buffer_bytes=1024 * 1024)
+    print(mokey.speedup_over(baseline))
+
+New designs register through
+:func:`~repro.experiments.scenario.register_design`; new numerics methods
+register a scheme (see :mod:`repro.schemes`) and are immediately sweepable
+via the ``schemes=`` axis.
+"""
+
+from repro.experiments.scenario import (
+    DESIGN_FACTORIES,
+    Scenario,
+    available_designs,
+    build_design,
+    register_design,
+)
+from repro.experiments.campaign import (
+    CampaignResult,
+    ResultCache,
+    ScenarioRecord,
+    expand_grid,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "DESIGN_FACTORIES",
+    "Scenario",
+    "available_designs",
+    "build_design",
+    "register_design",
+    "CampaignResult",
+    "ResultCache",
+    "ScenarioRecord",
+    "expand_grid",
+    "run_campaign",
+    "run_scenario",
+]

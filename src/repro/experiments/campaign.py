@@ -1,0 +1,283 @@
+"""Campaign engine: grid expansion, cached simulation, parallel fan-out.
+
+``run_campaign`` is the single sweep loop the benchmarks and examples
+share.  It takes a list of :class:`~repro.experiments.scenario.Scenario`
+points (usually from :func:`expand_grid`), simulates each — fanning out
+over a :class:`concurrent.futures.ThreadPoolExecutor` and deduplicating
+through an in-process :class:`ResultCache` keyed by scenario — and returns
+a :class:`CampaignResult` of structured records ready for
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.accelerator.metrics import SimulationResult
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.experiments.scenario import KB, Scenario
+
+__all__ = [
+    "ResultCache",
+    "ScenarioRecord",
+    "CampaignResult",
+    "expand_grid",
+    "run_scenario",
+    "run_campaign",
+]
+
+
+class ResultCache:
+    """Thread-safe in-process cache of simulation results keyed by scenario."""
+
+    def __init__(self) -> None:
+        self._results: Dict[Scenario, SimulationResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        with self._lock:
+            return scenario in self._results
+
+    def lookup(self, scenario: Scenario) -> Optional[SimulationResult]:
+        """Return the cached result, counting a hit or miss."""
+        with self._lock:
+            result = self._results.get(scenario)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
+
+    def store(self, scenario: Scenario, result: SimulationResult) -> None:
+        with self._lock:
+            self._results[scenario] = result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+@dataclass
+class ScenarioRecord:
+    """One structured campaign outcome.
+
+    Attributes:
+        scenario: The grid point that produced the result.
+        result: The full simulation result.
+        cached: Whether the result came from the cache without simulating.
+    """
+
+    scenario: Scenario
+    result: SimulationResult
+    cached: bool = False
+
+    @property
+    def workload_name(self) -> str:
+        return self.result.workload_name
+
+    @property
+    def design_name(self) -> str:
+        return self.result.design_name
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten scenario + headline metrics for tabular reporting."""
+        return {
+            "model": self.scenario.model,
+            "task": self.scenario.task,
+            "sequence_length": self.scenario.resolved_sequence_length,
+            "batch_size": self.scenario.batch_size,
+            "scheme": self.scenario.scheme or self.result.design_name,
+            "design": self.scenario.design,
+            "buffer_bytes": self.scenario.buffer_bytes,
+            "activation_buffer_fraction": self.scenario.activation_buffer_fraction,
+            "workload": self.workload_name,
+            "compute_cycles": self.result.compute_cycles,
+            "memory_cycles": self.result.memory_cycles,
+            "total_cycles": self.result.total_cycles,
+            "traffic_bytes": self.result.traffic_bytes,
+            "energy_joules": self.result.energy.total,
+            "area_mm2": self.result.area.total,
+        }
+
+
+class CampaignResult:
+    """The records of one campaign plus cache statistics.
+
+    Iterable over :class:`ScenarioRecord` in submission order; ``filter``
+    and ``result`` select records by scenario fields (plus the virtual
+    ``workload`` key matching the workload label).
+    """
+
+    def __init__(self, records: Sequence[ScenarioRecord], cache: ResultCache) -> None:
+        self.records = list(records)
+        self.cache = cache
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @staticmethod
+    def _matches(record: ScenarioRecord, criteria: Dict[str, object]) -> bool:
+        for key, wanted in criteria.items():
+            if key == "workload":
+                value = record.workload_name
+            else:
+                value = getattr(record.scenario, key)
+            if value != wanted:
+                return False
+        return True
+
+    def filter(self, **criteria) -> "CampaignResult":
+        """Records whose scenario (or workload label) matches ``criteria``."""
+        matching = [r for r in self.records if self._matches(r, criteria)]
+        return CampaignResult(matching, self.cache)
+
+    def result(self, **criteria) -> SimulationResult:
+        """The unique simulation result matching ``criteria``."""
+        matching = [r for r in self.records if self._matches(r, criteria)]
+        if len(matching) != 1:
+            raise LookupError(
+                f"expected exactly one record for {criteria}, found {len(matching)}"
+            )
+        return matching[0].result
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [record.to_dict() for record in self.records]
+
+
+def expand_grid(
+    models: Sequence[str] = ("bert-base",),
+    tasks: Sequence[str] = ("mnli",),
+    sequence_lengths: Sequence[Optional[int]] = (None,),
+    batch_sizes: Sequence[int] = (1,),
+    schemes: Sequence[Optional[str]] = (None,),
+    designs: Sequence[str] = ("mokey",),
+    buffer_bytes: Sequence[int] = (512 * KB,),
+    workloads: Optional[Iterable[Tuple[str, str, Optional[int]]]] = None,
+) -> List[Scenario]:
+    """Expand axis values into the full list of scenarios.
+
+    Args:
+        models, tasks, sequence_lengths: Workload axes, crossed with each
+            other unless ``workloads`` pins explicit combinations.
+        batch_sizes: Batch axis.
+        schemes: Scheme overrides (``None`` = the design's own scheme).
+        designs: Registered design names.
+        buffer_bytes: Buffer-capacity axis.
+        workloads: Optional explicit ``(model, task, sequence_length)``
+            triples replacing the cross product of the first three axes
+            (the paper's Table I pairs are not a full cross product).
+    """
+    if workloads is None:
+        workload_specs = list(itertools.product(models, tasks, sequence_lengths))
+    else:
+        workload_specs = [tuple(spec) for spec in workloads]
+    return [
+        Scenario(
+            model=model,
+            task=task,
+            sequence_length=seq,
+            batch_size=batch,
+            scheme=scheme,
+            design=design,
+            buffer_bytes=size,
+        )
+        for (model, task, seq), batch, scheme, design, size in itertools.product(
+            workload_specs, batch_sizes, schemes, designs, buffer_bytes
+        )
+    ]
+
+
+def run_scenario(
+    scenario: Scenario,
+    simulator_factory: Callable[[Scenario], AcceleratorSimulator] = None,
+) -> SimulationResult:
+    """Simulate one scenario (no caching)."""
+    if simulator_factory is None:
+        simulator = AcceleratorSimulator(scenario.build_design())
+    else:
+        simulator = simulator_factory(scenario)
+    return simulator.simulate(
+        scenario.build_workload(),
+        scenario.buffer_bytes,
+        scenario.activation_buffer_fraction,
+    )
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    simulator_factory: Callable[[Scenario], AcceleratorSimulator] = None,
+) -> CampaignResult:
+    """Simulate every scenario, fanning out across a thread pool.
+
+    Scenarios already present in ``cache`` (including duplicates within
+    ``scenarios``) are not re-simulated; their records are marked
+    ``cached=True``.
+
+    Args:
+        scenarios: Grid points to run; record order follows this order.
+        max_workers: Thread-pool width (default: executor's heuristic).
+        cache: Cross-campaign result cache; a fresh one is used if omitted.
+            Cache entries are keyed by scenario only, so a shared cache
+            cannot be combined with a custom ``simulator_factory`` (the
+            cached results would have been produced under a different
+            simulator configuration).
+        simulator_factory: Override how a scenario builds its simulator
+            (e.g. to inject a different DRAM model or overlap stage).
+    """
+    if cache is not None and simulator_factory is not None:
+        raise ValueError(
+            "a shared cache cannot be combined with a custom simulator_factory: "
+            "cache entries are keyed by scenario only and would mix results "
+            "from different simulator configurations; use a dedicated cache"
+        )
+    cache = cache if cache is not None else ResultCache()
+
+    resolved: Dict[Scenario, SimulationResult] = {}
+    cached_flags: Dict[Scenario, bool] = {}
+    pending: List[Scenario] = []
+    for scenario in scenarios:
+        if scenario in resolved or scenario in cached_flags:
+            continue
+        hit = cache.lookup(scenario)
+        if hit is not None:
+            resolved[scenario] = hit
+            cached_flags[scenario] = True
+        else:
+            cached_flags[scenario] = False
+            pending.append(scenario)
+
+    if pending:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = pool.map(
+                lambda s: run_scenario(s, simulator_factory=simulator_factory), pending
+            )
+            for scenario, result in zip(pending, outcomes):
+                cache.store(scenario, result)
+                resolved[scenario] = result
+
+    records = []
+    seen: set = set()
+    for s in scenarios:
+        # Later duplicates of an in-run scenario reuse the first record's
+        # result, so they count as cache reuses too.
+        records.append(
+            ScenarioRecord(scenario=s, result=resolved[s], cached=cached_flags[s] or s in seen)
+        )
+        seen.add(s)
+    return CampaignResult(records, cache)

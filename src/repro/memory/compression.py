@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.memory.layout import GROUP_SIZE
+from repro.memory.layout import COUNT_BITS, GROUP_SIZE, POSITION_BITS
 from repro.transformer.config import TransformerConfig
 
 __all__ = [
@@ -84,7 +84,7 @@ def mokey_stream_bits(
     if not include_pointers:
         return float(value_bits)
     groups = int(np.ceil(num_values / group_size))
-    pointer_bits = groups * 6 + outlier_fraction * num_values * 6
+    pointer_bits = groups * COUNT_BITS + outlier_fraction * num_values * POSITION_BITS
     return float(value_bits + pointer_bits)
 
 

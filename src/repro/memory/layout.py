@@ -24,6 +24,8 @@ from repro.core.tensor_dictionary import EncodedValues
 
 __all__ = [
     "GROUP_SIZE",
+    "POSITION_BITS",
+    "COUNT_BITS",
     "MokeyMemoryContainer",
     "pack_offchip",
     "unpack_offchip",
@@ -32,8 +34,13 @@ __all__ = [
 ]
 
 GROUP_SIZE = 64
-_POSITION_BITS = 6
-_COUNT_BITS = 6
+#: Bits per in-group outlier position pointer (log2 of GROUP_SIZE).
+POSITION_BITS = 6
+#: Bits per per-group outlier count.
+COUNT_BITS = 6
+# Backwards-compatible private aliases.
+_POSITION_BITS = POSITION_BITS
+_COUNT_BITS = COUNT_BITS
 
 
 @dataclass

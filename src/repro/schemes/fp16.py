@@ -1,0 +1,88 @@
+"""FP16 Tensor-Cores scheme and its memory-compression variants.
+
+``fp16`` models the plain Tensor-Cores baseline: one FP16 MAC per pair,
+no storage compression.  ``mokey-oc`` and ``mokey-oc+on`` are the Section
+IV-D deployments where the compute units stay FP16 but Mokey compresses
+storage off-chip only, or off-chip and on-chip; both pay the LUT expansion
+per operand entering the datapath and a re-quantization per output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schemes.base import ComputePhase, GemmAggregates, QuantizationScheme, SchemeStorage, scheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.accelerator.designs import AcceleratorDesign
+    from repro.accelerator.workloads import Workload
+
+__all__ = ["Fp16Scheme", "MokeyOffChipCompressionScheme", "MokeyFullCompressionScheme"]
+
+
+@scheme
+class Fp16Scheme(QuantizationScheme):
+    """Uncompressed FP16 numerics on an FP16 MAC array."""
+
+    name = "fp16"
+    weight_bits = 16.0
+    activation_bits = 16.0
+
+    def layer_compute(self, workload: "Workload", design: "AcceleratorDesign") -> ComputePhase:
+        agg = GemmAggregates.of_layer(workload)
+        energies = design.energies
+        cycles = agg.macs / design.peak_macs_per_cycle
+        energy_pj = agg.macs * energies.fp16_mac
+        if design.decompression_lut:
+            # Compressed values are expanded through LUTs as they enter the
+            # datapath (memory-compression deployments), and outputs are
+            # re-quantized on the way back out.
+            energy_pj += (agg.weight_values + agg.input_values) * energies.lut_lookup
+            energy_pj += agg.outputs * energies.quantizer_value
+        return ComputePhase(
+            cycles=cycles,
+            energy_joules=energy_pj * 1e-12,
+            detail={"layer_macs": agg.macs, "layer_outputs": agg.outputs},
+        )
+
+
+@scheme
+class MokeyOffChipCompressionScheme(Fp16Scheme):
+    """FP16 compute with Mokey compressing DRAM storage only (Section IV-D "OC")."""
+
+    name = "mokey-oc"
+    weight_bits = 4.4
+    activation_bits = 4.4
+
+    def storage(self) -> SchemeStorage:
+        from repro.accelerator.mokey_accel import MOKEY_OFFCHIP_BITS
+
+        return SchemeStorage(
+            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
+            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
+            weight_bits_onchip=16.0,
+            activation_bits_onchip=16.0,
+            buffer_interface_bits=16,
+            decompression_lut=True,
+        )
+
+
+@scheme
+class MokeyFullCompressionScheme(Fp16Scheme):
+    """FP16 compute with Mokey compressing DRAM and the on-chip buffer ("OC+ON")."""
+
+    name = "mokey-oc+on"
+    weight_bits = 4.4
+    activation_bits = 4.4
+
+    def storage(self) -> SchemeStorage:
+        from repro.accelerator.mokey_accel import MOKEY_OFFCHIP_BITS, MOKEY_ONCHIP_BITS
+
+        return SchemeStorage(
+            weight_bits_offchip=MOKEY_OFFCHIP_BITS,
+            activation_bits_offchip=MOKEY_OFFCHIP_BITS,
+            weight_bits_onchip=MOKEY_ONCHIP_BITS,
+            activation_bits_onchip=MOKEY_ONCHIP_BITS,
+            buffer_interface_bits=5,
+            decompression_lut=True,
+        )

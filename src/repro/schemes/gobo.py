@@ -1,0 +1,62 @@
+"""GOBO scheme: 3-bit dictionary weights, FP16 activations and compute.
+
+Numerics come from the GOBO baseline quantizer (per-tensor k-means
+centroids with FP32 outliers); the cost model is an FP16 MAC array with a
+dictionary lookup per weight value entering the PE array.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.schemes.base import ComputePhase, GemmAggregates, QuantizationScheme, SchemeStorage, scheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.accelerator.designs import AcceleratorDesign
+    from repro.accelerator.workloads import Workload
+
+__all__ = ["GoboScheme"]
+
+
+@scheme
+class GoboScheme(QuantizationScheme):
+    """Weights-only dictionary quantization on an FP16 datapath with weight LUTs."""
+
+    name = "gobo"
+    weight_bits = 3.0
+    activation_bits = 16.0
+
+    def quantize_dequantize(self, values: np.ndarray, name: str = "tensor") -> np.ndarray:
+        from repro.baselines.gobo import gobo_quantize_tensor
+
+        reconstruction, _, _ = gobo_quantize_tensor(values)
+        return reconstruction
+
+    def storage(self) -> SchemeStorage:
+        from repro.accelerator.gobo_accel import GOBO_WEIGHT_BITS
+
+        return SchemeStorage(
+            weight_bits_offchip=GOBO_WEIGHT_BITS,
+            activation_bits_offchip=16.0,
+            weight_bits_onchip=GOBO_WEIGHT_BITS,
+            activation_bits_onchip=16.0,
+            buffer_interface_bits=16,
+            decompression_lut=True,
+            weight_outlier_fraction=0.001,
+            activation_outlier_fraction=0.0,
+        )
+
+    def layer_compute(self, workload: "Workload", design: "AcceleratorDesign") -> ComputePhase:
+        agg = GemmAggregates.of_layer(workload)
+        energies = design.energies
+        cycles = agg.macs / design.peak_macs_per_cycle
+        # FP16 MACs plus a dictionary lookup per weight value brought into
+        # the PE array.
+        energy_pj = agg.macs * energies.fp16_mac + agg.weight_values * energies.lut_lookup
+        return ComputePhase(
+            cycles=cycles,
+            energy_joules=energy_pj * 1e-12,
+            detail={"layer_macs": agg.macs, "layer_outputs": agg.outputs},
+        )
