@@ -12,13 +12,19 @@ Two ablations the paper's design rests on:
 
 import numpy as np
 
+from conftest import TINY_MODE
+
 from repro.analysis.reporting import format_table
 from repro.core.golden_dictionary import generate_golden_dictionary
 from repro.core.quantizer import MokeyQuantizer
 from repro.core.tensor_dictionary import TensorDictionary
 
+TENSOR_SIZE = 20_000 if TINY_MODE else 100_000
+SWEEP_SAMPLES = 5_000 if TINY_MODE else 20_000
+SWEEP_REPEATS = 1 if TINY_MODE else 2
 
-def _weight_like(n=100_000, seed=5):
+
+def _weight_like(n=TENSOR_SIZE, seed=5):
     rng = np.random.default_rng(seed)
     values = rng.normal(0, 0.02, n)
     outliers = int(0.015 * n)
@@ -34,7 +40,9 @@ def _dictionary_size_sweep():
     values = _weight_like()
     results = {}
     for entries in (8, 16, 32):
-        golden = generate_golden_dictionary(num_entries=entries, num_samples=20_000, num_repeats=2)
+        golden = generate_golden_dictionary(
+            num_entries=entries, num_samples=SWEEP_SAMPLES, num_repeats=SWEEP_REPEATS
+        )
         quantizer = MokeyQuantizer(golden)
         quantized = quantizer.quantize(values, "w")
         results[entries] = {

@@ -7,15 +7,20 @@ by each centroid.
 
 import numpy as np
 
+from conftest import TINY_MODE
+
 from repro.analysis.reporting import format_table
 from repro.core.agglomerative import agglomerative_cluster_1d
 from repro.core.golden_dictionary import generate_golden_dictionary
 
+NUM_SAMPLES = 5_000 if TINY_MODE else 50_000
+NUM_REPEATS = 1 if TINY_MODE else 4
+
 
 def _compute():
-    golden = generate_golden_dictionary(num_samples=50_000, num_repeats=4, seed=0)
+    golden = generate_golden_dictionary(num_samples=NUM_SAMPLES, num_repeats=NUM_REPEATS, seed=0)
     rng = np.random.default_rng(0)
-    samples = np.abs(rng.normal(0.0, 1.0, 50_000))
+    samples = np.abs(rng.normal(0.0, 1.0, NUM_SAMPLES))
     clustering = agglomerative_cluster_1d(samples, 8)
     return golden, clustering
 

@@ -9,11 +9,15 @@ the hardware design.
 import numpy as np
 import pytest
 
+from conftest import TINY_MODE
+
 from repro.analysis.reporting import format_table
 from repro.core.index_compute import index_domain_dot
 
+VECTOR_LENGTH = 1024 if TINY_MODE else 4096
 
-def _build_operands(mokey_quantizer, n=4096):
+
+def _build_operands(mokey_quantizer, n=VECTOR_LENGTH):
     rng = np.random.default_rng(42)
     weights = rng.normal(0, 0.02, n)
     weights[rng.choice(n, int(0.015 * n), replace=False)] = (

@@ -9,12 +9,14 @@ batch each trial and measure fidelity on a fixed held-out set.
 
 import numpy as np
 
+from conftest import TINY_MODE
+
 from repro.analysis.reporting import format_series
 from repro.core.model_quantizer import QuantizationMode
 from repro.transformer.model_zoo import build_simulation_model
 from repro.transformer.tasks import evaluate, generate_inputs, label_with_model
 
-NUM_TRIALS = 17
+NUM_TRIALS = 4 if TINY_MODE else 17
 
 
 def _run_trials(model_quantizer):

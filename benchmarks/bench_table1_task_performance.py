@@ -11,10 +11,16 @@ construction and the quantized columns show the degradation — the paper's
 
 import numpy as np
 
+from conftest import TINY_MODE
+
 from repro.analysis.reporting import format_table
 from repro.core.model_quantizer import QuantizationMode
 from repro.transformer.model_zoo import PAPER_MODELS, build_simulation_model
 from repro.transformer.tasks import TASK_METRICS, evaluate, generate_inputs, label_with_model
+
+# Tiny mode keeps one row per task family (classification, qa) instead of
+# all eight Table I rows.
+BENCH_MODELS = (PAPER_MODELS[0], PAPER_MODELS[3]) if TINY_MODE else PAPER_MODELS
 
 # Paper Table I reference values (FP score, W-only err, W+A err, W OT%, A OT%).
 PAPER_ROWS = {
@@ -60,7 +66,7 @@ def _evaluate_row(model_quantizer, model_name, task, seed):
 
 def _compute(model_quantizer):
     rows = {}
-    for seed, (model_name, task, _seq, _head) in enumerate(PAPER_MODELS):
+    for seed, (model_name, task, _seq, _head) in enumerate(BENCH_MODELS):
         rows[(model_name, task)] = _evaluate_row(model_quantizer, model_name, task, seed=seed)
     return rows
 

@@ -39,6 +39,12 @@ MB = 1024 * 1024
 # The buffer-capacity sweep of Figures 9-15.
 BUFFER_SWEEP = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
 
+# Tiny mode (REPRO_BENCH_TINY=1) shrinks the sample-heavy functional
+# experiments so the whole suite smoke-runs in a few seconds; the
+# campaign grids and every qualitative assertion are unchanged.  Used by
+# tests/test_bench_smoke.py and the CI benchmark-smoke job.
+TINY_MODE = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
 # The paper's Table I (model, task, sequence length) pairs as campaign
 # workload specs.
 PAPER_WORKLOAD_SPECS = tuple((m, t, s) for (m, t, s, _head) in PAPER_MODELS)
@@ -46,7 +52,9 @@ PAPER_WORKLOAD_SPECS = tuple((m, t, s) for (m, t, s, _head) in PAPER_MODELS)
 
 @pytest.fixture(scope="session")
 def golden():
-    """The full Golden Dictionary (50,000 samples, paper Step 1)."""
+    """The Golden Dictionary (full 50,000-sample build; smaller in tiny mode)."""
+    if TINY_MODE:
+        return generate_golden_dictionary(num_samples=5_000, num_repeats=1)
     return generate_golden_dictionary()
 
 

@@ -7,15 +7,19 @@ and chip areas for the three accelerator designs the paper evaluates.
 
 Run with::
 
-    python examples/accelerator_simulation.py [model] [task]
+    python examples/accelerator_simulation.py [model] [task] [store_dir]
 
-e.g. ``python examples/accelerator_simulation.py bert-large squad``.
+e.g. ``python examples/accelerator_simulation.py bert-large squad``.  With
+a ``store_dir``, results persist to an on-disk artifact store and a second
+run resolves the whole grid from disk without simulating.  The same flow
+is scriptable via the CLI: ``python -m repro campaign run ...``.
 """
 
 import sys
+from typing import Optional
 
 from repro.analysis.reporting import format_table
-from repro.experiments import expand_grid, run_campaign
+from repro.experiments import ArtifactStore, ResultCache, expand_grid, run_campaign
 
 KB = 1024
 MB = 1024 * 1024
@@ -23,13 +27,21 @@ BUFFERS = (256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
 DESIGNS = ("tensor-cores", "gobo", "mokey")
 
 
-def main(model_name: str = "bert-large", task: str = "squad") -> None:
+def main(
+    model_name: str = "bert-large", task: str = "squad", store_dir: Optional[str] = None
+) -> None:
     scenarios = expand_grid(
         workloads=[(model_name, task, None)],
         designs=DESIGNS,
         buffer_bytes=BUFFERS,
     )
-    campaign = run_campaign(scenarios)
+    cache = ResultCache(store=None if store_dir is None else ArtifactStore(store_dir))
+    campaign = run_campaign(scenarios, cache=cache)
+    if store_dir is not None:
+        print(
+            f"store {store_dir}: {campaign.simulated_count} simulated, "
+            f"{cache.store_hits} served from disk"
+        )
 
     workload = scenarios[0].build_workload()
     print(f"workload: {workload.name} — {workload.total_macs / 1e9:.1f} GMACs, "
@@ -73,4 +85,4 @@ def main(model_name: str = "bert-large", task: str = "squad") -> None:
 
 
 if __name__ == "__main__":
-    main(*sys.argv[1:3])
+    main(*sys.argv[1:4])

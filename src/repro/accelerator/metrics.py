@@ -1,11 +1,23 @@
-"""Result dataclasses shared by the accelerator simulator and benchmarks."""
+"""Result dataclasses shared by the accelerator simulator and benchmarks.
+
+All three dataclasses round-trip through ``to_dict``/``from_dict`` so the
+on-disk artifact store (:mod:`repro.experiments.store`) can persist them as
+JSON.  ``from_dict`` tolerates unknown fields: records written by a newer
+schema with extra keys still load on older code.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping
 
 __all__ = ["EnergyBreakdown", "AreaBreakdown", "SimulationResult"]
+
+
+def _known_fields(cls, data: Mapping[str, Any]) -> Dict[str, Any]:
+    """The subset of ``data`` naming actual fields of dataclass ``cls``."""
+    names = {f.name for f in fields(cls)}
+    return {key: value for key, value in data.items() if key in names}
 
 
 @dataclass
@@ -31,6 +43,13 @@ class EnergyBreakdown:
         self.compute += other.compute
         return self
 
+    def to_dict(self) -> Dict[str, float]:
+        return {"dram": float(self.dram), "sram": float(self.sram), "compute": float(self.compute)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnergyBreakdown":
+        return cls(**_known_fields(cls, data))
+
 
 @dataclass
 class AreaBreakdown:
@@ -42,6 +61,13 @@ class AreaBreakdown:
     @property
     def total(self) -> float:
         return self.compute + self.buffer
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"compute": float(self.compute), "buffer": float(self.buffer)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AreaBreakdown":
+        return cls(**_known_fields(cls, data))
 
 
 @dataclass
@@ -92,3 +118,27 @@ class SimulationResult:
         if self.energy.total <= 0:
             return float("inf")
         return other.energy.total / self.energy.total
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation; inverse of :meth:`from_dict`."""
+        return {
+            "design_name": self.design_name,
+            "workload_name": self.workload_name,
+            "buffer_bytes": int(self.buffer_bytes),
+            "compute_cycles": float(self.compute_cycles),
+            "memory_cycles": float(self.memory_cycles),
+            "total_cycles": float(self.total_cycles),
+            "traffic_bytes": float(self.traffic_bytes),
+            "energy": self.energy.to_dict(),
+            "area": self.area.to_dict(),
+            "detail": {key: float(value) for key, value in self.detail.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output, ignoring unknown keys."""
+        known = _known_fields(cls, data)
+        known["energy"] = EnergyBreakdown.from_dict(known.get("energy") or {})
+        known["area"] = AreaBreakdown.from_dict(known.get("area") or {})
+        known["detail"] = dict(known.get("detail") or {})
+        return cls(**known)

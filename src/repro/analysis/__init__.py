@@ -1,6 +1,19 @@
 """Analysis helpers: footprint studies and report formatting."""
 
 from repro.analysis.footprint import footprint_vs_sequence_length
-from repro.analysis.reporting import format_table, format_series
+from repro.analysis.reporting import (
+    format_csv,
+    format_json,
+    format_records,
+    format_series,
+    format_table,
+)
 
-__all__ = ["footprint_vs_sequence_length", "format_table", "format_series"]
+__all__ = [
+    "footprint_vs_sequence_length",
+    "format_table",
+    "format_series",
+    "format_csv",
+    "format_json",
+    "format_records",
+]

@@ -1,10 +1,23 @@
-"""Plain-text report formatting shared by the benchmarks and examples."""
+"""Report formatting shared by the benchmarks, examples and the CLI.
+
+ASCII tables (:func:`format_table`, :func:`format_series`) are for humans;
+:func:`format_csv` and :func:`format_json` emit machine-readable output so
+``repro campaign`` results feed spreadsheets and downstream analysis.
+:func:`format_records` dispatches between the three given a list of flat
+row dicts (e.g. ``CampaignResult.to_dicts()``).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_csv", "format_json", "format_records"]
+
+#: Output formats understood by :func:`format_records`.
+RECORD_FORMATS = ("table", "csv", "json")
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -38,6 +51,51 @@ def format_series(name: str, points: Dict[object, float], unit: str = "") -> str
         suffix = f" {unit}" if unit else ""
         lines.append(f"  {key}: {_fmt(value)}{suffix}")
     return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as RFC-4180 CSV with a header line.
+
+    Values are written verbatim (full float precision), not through the
+    table formatter's display rounding.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        writer.writerow(list(row))
+    return buffer.getvalue().rstrip("\n")
+
+
+def format_json(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render row dicts as an indented JSON array."""
+    return json.dumps(list(rows), indent=2, sort_keys=False)
+
+
+def format_records(rows: Sequence[Mapping[str, object]], fmt: str = "table") -> str:
+    """Render flat row dicts in the requested format.
+
+    Args:
+        rows: Uniform row dicts (e.g. ``CampaignResult.to_dicts()``);
+            column order follows the first row's key order, and keys
+            missing from later rows render empty.
+        fmt: One of ``"table"``, ``"csv"`` or ``"json"``.
+    """
+    if fmt not in RECORD_FORMATS:
+        raise ValueError(f"unknown format {fmt!r} (choose from {', '.join(RECORD_FORMATS)})")
+    if fmt == "json":
+        return format_json(rows)
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    cells = [[row.get(key, "") for key in headers] for row in rows]
+    if fmt == "csv":
+        return format_csv(headers, cells)
+    return format_table(headers, cells)
 
 
 def _fmt(value: object) -> str:

@@ -1,0 +1,371 @@
+"""``repro`` command-line interface.
+
+Drives the campaign engine (:mod:`repro.experiments`) from the shell, with
+results persisted to an on-disk :class:`~repro.experiments.store.ArtifactStore`
+so repeated runs only simulate new grid points::
+
+    repro campaign run --models bert-base bert-large --designs mokey \\
+        --buffer-kb 256 512 --executor process
+    repro campaign report --design mokey --format csv
+    repro campaign list
+    repro campaign clean --yes
+
+(or ``python -m repro ...`` without installing the console script.)
+
+The store location is ``--store DIR``, the ``REPRO_STORE`` environment
+variable, or ``./.repro-store`` in that order of precedence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import RECORD_FORMATS, format_records
+from repro.experiments import (
+    EXECUTORS,
+    ArtifactStore,
+    ResultCache,
+    ScenarioRecord,
+    available_designs,
+    expand_grid,
+    run_campaign,
+)
+from repro.schemes import available_schemes
+from repro.accelerator.workloads import TASK_SEQUENCE_LENGTHS
+from repro.transformer.model_zoo import MODEL_CONFIGS, PAPER_MODELS
+
+__all__ = ["main"]
+
+KB = 1024
+
+DEFAULT_STORE = ".repro-store"
+
+
+def _default_store() -> str:
+    return os.environ.get("REPRO_STORE", DEFAULT_STORE)
+
+
+def _parse_sequence_length(value: str) -> Optional[int]:
+    """``"none"``/``"default"`` → task default; otherwise a positive int."""
+    if value.lower() in ("none", "default"):
+        return None
+    return int(value)
+
+
+def _parse_scheme(value: str) -> Optional[str]:
+    """``"none"``/``"native"`` → the design's own scheme."""
+    if value.lower() in ("none", "native"):
+        return None
+    return value
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store directory (default: $REPRO_STORE or ./.repro-store)",
+    )
+
+
+def _add_format_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=RECORD_FORMATS,
+        default="table",
+        help="output format for the result records (default: table)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the formatted records to FILE instead of stdout",
+    )
+
+
+def _add_filter_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default=None, help="only records for this model")
+    parser.add_argument("--task", default=None, help="only records for this task")
+    parser.add_argument("--design", default=None, help="only records for this design")
+    parser.add_argument(
+        "--scheme",
+        default=None,
+        help="only records whose scheme column matches (the override if set, else the design name)",
+    )
+    parser.add_argument("--batch-size", type=int, default=None, help="only this batch size")
+    parser.add_argument("--buffer-kb", type=int, default=None, help="only this buffer size (KB)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mokey (ISCA 2022) reproduction: campaign runner and result store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser("campaign", help="run and inspect simulation campaigns")
+    actions = campaign.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser(
+        "run",
+        help="simulate a scenario grid (store hits are not re-simulated)",
+        description=(
+            "Expand the axis flags into a scenario grid and simulate it. "
+            "Results land in the artifact store; grid points already stored "
+            "are served from disk, so an identical second run simulates nothing."
+        ),
+    )
+    run.add_argument(
+        "--models",
+        nargs="+",
+        default=["bert-base"],
+        choices=sorted(MODEL_CONFIGS),
+        metavar="MODEL",
+        help=f"model-zoo axis (choices: {', '.join(sorted(MODEL_CONFIGS))})",
+    )
+    run.add_argument("--tasks", nargs="+", default=["mnli"], metavar="TASK", help="task axis")
+    run.add_argument(
+        "--sequence-lengths",
+        nargs="+",
+        type=_parse_sequence_length,
+        default=[None],
+        metavar="LEN",
+        help="sequence-length axis; 'none' uses each task's default length",
+    )
+    run.add_argument(
+        "--batch-sizes", nargs="+", type=int, default=[1], metavar="N", help="batch-size axis"
+    )
+    run.add_argument(
+        "--schemes",
+        nargs="+",
+        type=_parse_scheme,
+        default=[None],
+        metavar="SCHEME",
+        help="quantization-scheme axis; 'none' keeps each design's own scheme",
+    )
+    run.add_argument(
+        "--designs",
+        nargs="+",
+        default=["mokey"],
+        metavar="DESIGN",
+        help=f"accelerator-design axis (choices: {', '.join(available_designs())})",
+    )
+    run.add_argument(
+        "--buffer-kb",
+        nargs="+",
+        type=int,
+        default=[512],
+        metavar="KB",
+        help="on-chip buffer capacity axis, in KB",
+    )
+    run.add_argument(
+        "--paper-workloads",
+        action="store_true",
+        help="use the paper's Table I (model, task, seq) pairs instead of "
+        "crossing --models/--tasks/--sequence-lengths",
+    )
+    run.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="thread",
+        help="how to fan the grid out (process = fastest for large grids)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N", help="pool width (default: automatic)"
+    )
+    run.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios per process-pool work item (process executor only)",
+    )
+    run.add_argument(
+        "--no-store", action="store_true", help="do not read or write the artifact store"
+    )
+    _add_store_argument(run)
+    _add_format_arguments(run)
+
+    report = actions.add_parser(
+        "report",
+        help="format stored records",
+        description="Render records from the artifact store, optionally filtered.",
+    )
+    _add_store_argument(report)
+    _add_filter_arguments(report)
+    _add_format_arguments(report)
+
+    list_cmd = actions.add_parser(
+        "list",
+        help="summarise the artifact store",
+        description="Show record counts per model/design in the artifact store.",
+    )
+    _add_store_argument(list_cmd)
+
+    clean = actions.add_parser(
+        "clean",
+        help="delete the artifact store's records",
+        description="Delete every stored record (requires --yes).",
+    )
+    clean.add_argument("--yes", action="store_true", help="actually delete (no prompt)")
+    _add_store_argument(clean)
+
+    return parser
+
+
+def _validate_run_axes(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    for task in args.tasks:
+        if task not in TASK_SEQUENCE_LENGTHS:
+            parser.error(
+                f"unknown task {task!r} (choices: {', '.join(sorted(TASK_SEQUENCE_LENGTHS))})"
+            )
+    known_designs = set(available_designs())
+    for design in args.designs:
+        if design not in known_designs:
+            parser.error(
+                f"unknown design {design!r} (choices: {', '.join(sorted(known_designs))})"
+            )
+    known_schemes = set(available_schemes())
+    for scheme in args.schemes:
+        if scheme is not None and scheme not in known_schemes:
+            parser.error(
+                f"unknown scheme {scheme!r} (choices: none, {', '.join(sorted(known_schemes))})"
+            )
+
+
+def _emit(records_text: str, summary: str, output: Optional[str]) -> None:
+    """Records go to ``--output`` (or stdout); the summary goes to the
+    other stream so machine-readable output stays clean."""
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(records_text + "\n")
+        print(summary)
+    else:
+        print(records_text)
+        print(summary, file=sys.stderr)
+
+
+def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    _validate_run_axes(parser, args)
+    workloads = None
+    if args.paper_workloads:
+        workloads = [(model, task, seq) for (model, task, seq, _head) in PAPER_MODELS]
+    scenarios = expand_grid(
+        models=tuple(args.models),
+        tasks=tuple(args.tasks),
+        sequence_lengths=tuple(args.sequence_lengths),
+        batch_sizes=tuple(args.batch_sizes),
+        schemes=tuple(args.schemes),
+        designs=tuple(args.designs),
+        buffer_bytes=tuple(size * KB for size in args.buffer_kb),
+        workloads=workloads,
+    )
+    store = None if args.no_store else ArtifactStore(args.store or _default_store())
+    cache = ResultCache(store=store)
+    started = time.perf_counter()
+    campaign = run_campaign(
+        scenarios,
+        max_workers=args.workers,
+        cache=cache,
+        executor=args.executor,
+        chunksize=args.chunksize,
+    )
+    elapsed = time.perf_counter() - started
+    summary = (
+        f"{len(campaign)} records: {campaign.simulated_count} simulated, "
+        f"{len(campaign) - campaign.simulated_count} cache hits "
+        f"({cache.store_hits} from store) in {elapsed:.2f}s "
+        f"[executor={args.executor}"
+        + ("]" if store is None else f", store={store.root}]")
+    )
+    _emit(format_records(campaign.to_dicts(), args.format), summary, args.output)
+    return 0
+
+
+def _stored_records(args: argparse.Namespace) -> List[ScenarioRecord]:
+    store = ArtifactStore(args.store or _default_store())
+    return [
+        ScenarioRecord(scenario=scenario, result=result, cached=True)
+        for scenario, result in store.records()
+    ]
+
+
+def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    records = _stored_records(args)
+    filters = {
+        "model": args.model,
+        "task": args.task,
+        "design": args.design,
+        "batch_size": args.batch_size,
+        "buffer_bytes": None if args.buffer_kb is None else args.buffer_kb * KB,
+    }
+    for field, wanted in filters.items():
+        if wanted is not None:
+            records = [r for r in records if getattr(r.scenario, field) == wanted]
+    if args.scheme is not None:
+        # Match what the scheme column shows: the override if set, else the
+        # design name (records with no override have scenario.scheme=None).
+        records = [
+            r
+            for r in records
+            if (r.scenario.scheme or r.result.design_name) == args.scheme
+        ]
+    if not records:
+        print("no matching records in the store", file=sys.stderr)
+        return 1
+    summary = f"{len(records)} records from {ArtifactStore(args.store or _default_store()).root}"
+    _emit(format_records([r.to_row() for r in records], args.format), summary, args.output)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store or _default_store())
+    records = list(store.records())
+    print(f"store: {store.root} — {len(records)} records")
+    if store.skipped:
+        print(f"  ({store.skipped} unreadable/old-schema lines skipped)")
+    counts: dict = {}
+    for scenario, _result in records:
+        key = (scenario.model, scenario.design)
+        counts[key] = counts.get(key, 0) + 1
+    for (model, design), count in sorted(counts.items()):
+        print(f"  {model} on {design}: {count}")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store or _default_store())
+    count = len(store)
+    if not args.yes:
+        print(
+            f"would delete {count} records at {store.path}; re-run with --yes to proceed",
+            file=sys.stderr,
+        )
+        return 1
+    removed = store.clear()
+    print(f"deleted {removed} records at {store.path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "campaign":
+        if args.action == "run":
+            return _cmd_run(parser, args)
+        if args.action == "report":
+            return _cmd_report(parser, args)
+        if args.action == "list":
+            return _cmd_list(args)
+        if args.action == "clean":
+            return _cmd_clean(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,18 @@ share one sweep loop instead of each re-implementing it:
   scenario list (with explicit workload triples for non-cross-product
   grids like the paper's Table I);
 * :class:`~repro.experiments.campaign.ResultCache` — in-process,
-  thread-safe result cache keyed by scenario, shared across campaigns;
+  thread-safe result cache keyed by scenario, shared across campaigns and
+  optionally layered over an on-disk store;
+* :class:`~repro.experiments.store.ArtifactStore` — content-addressed
+  JSONL store persisting results across processes, so repeated campaigns
+  only simulate new grid points;
 * :func:`~repro.experiments.campaign.run_campaign` — fans the scenarios
-  out over ``concurrent.futures`` and returns structured
-  :class:`~repro.experiments.campaign.ScenarioRecord` rows consumable by
-  :mod:`repro.analysis.reporting`.
+  out over the chosen executor (``serial | thread | process``) and
+  returns structured :class:`~repro.experiments.campaign.ScenarioRecord`
+  rows consumable by :mod:`repro.analysis.reporting`.
+
+The ``repro`` CLI (``python -m repro campaign ...``) drives this package
+from the command line.
 
 Usage::
 
@@ -48,6 +55,7 @@ from repro.experiments.scenario import (
     register_design,
 )
 from repro.experiments.campaign import (
+    EXECUTORS,
     CampaignResult,
     ResultCache,
     ScenarioRecord,
@@ -55,6 +63,7 @@ from repro.experiments.campaign import (
     run_campaign,
     run_scenario,
 )
+from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, scenario_key
 
 __all__ = [
     "DESIGN_FACTORIES",
@@ -62,10 +71,14 @@ __all__ = [
     "available_designs",
     "build_design",
     "register_design",
+    "EXECUTORS",
     "CampaignResult",
     "ResultCache",
     "ScenarioRecord",
     "expand_grid",
     "run_campaign",
     "run_scenario",
+    "SCHEMA_VERSION",
+    "ArtifactStore",
+    "scenario_key",
 ]

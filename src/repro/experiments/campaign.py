@@ -1,27 +1,32 @@
 """Campaign engine: grid expansion, cached simulation, parallel fan-out.
 
-``run_campaign`` is the single sweep loop the benchmarks and examples
-share.  It takes a list of :class:`~repro.experiments.scenario.Scenario`
-points (usually from :func:`expand_grid`), simulates each — fanning out
-over a :class:`concurrent.futures.ThreadPoolExecutor` and deduplicating
-through an in-process :class:`ResultCache` keyed by scenario — and returns
-a :class:`CampaignResult` of structured records ready for
+``run_campaign`` is the single sweep loop the benchmarks, examples and the
+``repro`` CLI share.  It takes a list of
+:class:`~repro.experiments.scenario.Scenario` points (usually from
+:func:`expand_grid`), simulates each — fanning out over the chosen
+executor (``serial``, ``thread`` or ``process``) and deduplicating through
+a :class:`ResultCache` keyed by scenario, optionally layered over an
+on-disk :class:`~repro.experiments.store.ArtifactStore` — and returns a
+:class:`CampaignResult` of structured records ready for
 :mod:`repro.analysis.reporting`.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
+import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.accelerator.metrics import SimulationResult
 from repro.accelerator.simulator import AcceleratorSimulator
 from repro.experiments.scenario import KB, Scenario
 
 __all__ = [
+    "EXECUTORS",
     "ResultCache",
     "ScenarioRecord",
     "CampaignResult",
@@ -30,42 +35,74 @@ __all__ = [
     "run_campaign",
 ]
 
+#: Valid ``run_campaign(executor=...)`` choices.
+EXECUTORS = ("serial", "thread", "process")
+
 
 class ResultCache:
-    """Thread-safe in-process cache of simulation results keyed by scenario."""
+    """Thread-safe in-process cache of simulation results keyed by scenario.
 
-    def __init__(self) -> None:
+    When constructed with a backing
+    :class:`~repro.experiments.store.ArtifactStore`, lookups that miss in
+    memory fall through to disk (counted in :attr:`store_hits` as well as
+    :attr:`hits`) and stores write through, making the cache persistent
+    across processes.  :meth:`clear` drops only the in-memory state; the
+    backing store is managed separately (``repro campaign clean``).
+    """
+
+    def __init__(self, store: Optional[Any] = None) -> None:
         self._results: Dict[Scenario, SimulationResult] = {}
         self._lock = threading.Lock()
+        self._store = store
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+
+    @property
+    def backing_store(self) -> Optional[Any]:
+        return self._store
 
     def __len__(self) -> int:
         return len(self._results)
 
     def __contains__(self, scenario: Scenario) -> bool:
         with self._lock:
-            return scenario in self._results
+            if scenario in self._results:
+                return True
+        return self._store is not None and scenario in self._store
 
     def lookup(self, scenario: Scenario) -> Optional[SimulationResult]:
         """Return the cached result, counting a hit or miss."""
         with self._lock:
             result = self._results.get(scenario)
-            if result is None:
-                self.misses += 1
-            else:
+            if result is not None:
                 self.hits += 1
-            return result
+                return result
+        if self._store is not None:
+            result = self._store.get(scenario)
+            if result is not None:
+                with self._lock:
+                    self._results[scenario] = result
+                    self.hits += 1
+                    self.store_hits += 1
+                return result
+        with self._lock:
+            self.misses += 1
+        return None
 
     def store(self, scenario: Scenario, result: SimulationResult) -> None:
         with self._lock:
             self._results[scenario] = result
+        if self._store is not None:
+            self._store.put(scenario, result)
 
     def clear(self) -> None:
+        """Reset the in-memory cache and counters (not the backing store)."""
         with self._lock:
             self._results.clear()
             self.hits = 0
             self.misses = 0
+            self.store_hits = 0
 
 
 @dataclass
@@ -91,6 +128,26 @@ class ScenarioRecord:
         return self.result.design_name
 
     def to_dict(self) -> Dict[str, object]:
+        """Full nested representation; inverse of :meth:`from_dict`.
+
+        For the flat tabular form used by reporting, see :meth:`to_row`.
+        """
+        return {
+            "scenario": self.scenario.to_dict(),
+            "result": self.result.to_dict(),
+            "cached": bool(self.cached),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioRecord":
+        """Rebuild a record from :meth:`to_dict` output, ignoring unknown keys."""
+        return cls(
+            scenario=Scenario.from_dict(data.get("scenario") or {}),
+            result=SimulationResult.from_dict(data.get("result") or {}),
+            cached=bool(data.get("cached", False)),
+        )
+
+    def to_row(self) -> Dict[str, object]:
         """Flatten scenario + headline metrics for tabular reporting."""
         return {
             "model": self.scenario.model,
@@ -155,7 +212,13 @@ class CampaignResult:
         return matching[0].result
 
     def to_dicts(self) -> List[Dict[str, object]]:
-        return [record.to_dict() for record in self.records]
+        """Flat reporting rows (one per record); see :meth:`ScenarioRecord.to_row`."""
+        return [record.to_row() for record in self.records]
+
+    @property
+    def simulated_count(self) -> int:
+        """How many records were actually simulated (not cache/store hits)."""
+        return sum(1 for record in self.records if not record.cached)
 
 
 def expand_grid(
@@ -217,13 +280,43 @@ def run_scenario(
     )
 
 
+def _simulate_pending(
+    pending: Sequence[Scenario],
+    executor: str,
+    max_workers: Optional[int],
+    chunksize: Optional[int],
+    simulator_factory: Optional[Callable[[Scenario], AcceleratorSimulator]],
+) -> List[SimulationResult]:
+    """Simulate ``pending`` under the chosen executor, preserving order."""
+    if simulator_factory is None:
+        task = run_scenario
+    else:
+        task = functools.partial(run_scenario, simulator_factory=simulator_factory)
+    if executor == "serial":
+        return [task(scenario) for scenario in pending]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(task, pending))
+    # Process: the simulator path is pure CPU-bound Python, so only real
+    # processes escape the GIL.  Chunked dispatch amortises the per-item
+    # pickling; map() preserves submission order, so records stay
+    # deterministic regardless of which worker finishes first.
+    if chunksize is None:
+        workers = max_workers or os.cpu_count() or 1
+        chunksize = max(1, len(pending) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(task, pending, chunksize=chunksize))
+
+
 def run_campaign(
     scenarios: Sequence[Scenario],
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     simulator_factory: Callable[[Scenario], AcceleratorSimulator] = None,
+    executor: str = "thread",
+    chunksize: Optional[int] = None,
 ) -> CampaignResult:
-    """Simulate every scenario, fanning out across a thread pool.
+    """Simulate every scenario, fanning out across the chosen executor.
 
     Scenarios already present in ``cache`` (including duplicates within
     ``scenarios``) are not re-simulated; their records are marked
@@ -231,15 +324,26 @@ def run_campaign(
 
     Args:
         scenarios: Grid points to run; record order follows this order.
-        max_workers: Thread-pool width (default: executor's heuristic).
+        max_workers: Pool width (default: the executor's own heuristic).
         cache: Cross-campaign result cache; a fresh one is used if omitted.
-            Cache entries are keyed by scenario only, so a shared cache
-            cannot be combined with a custom ``simulator_factory`` (the
-            cached results would have been produced under a different
-            simulator configuration).
+            Construct with ``ResultCache(store=ArtifactStore(...))`` to
+            persist and reuse results across processes.  Cache entries are
+            keyed by scenario only, so a shared cache cannot be combined
+            with a custom ``simulator_factory`` (the cached results would
+            have been produced under a different simulator configuration).
         simulator_factory: Override how a scenario builds its simulator
-            (e.g. to inject a different DRAM model or overlap stage).
+            (e.g. to inject a different DRAM model or overlap stage).  With
+            ``executor="process"`` it must be picklable (a module-level
+            function, not a lambda).
+        executor: ``"serial"`` (in-line, best for debugging), ``"thread"``
+            (default; fine for small grids), or ``"process"`` (a
+            ``ProcessPoolExecutor`` — the simulator is CPU-bound Python,
+            so this is the fast choice for large grids).
+        chunksize: Scenarios per process-pool work item (``process``
+            only); defaults to ~4 chunks per worker.
     """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (choose from {', '.join(EXECUTORS)})")
     if cache is not None and simulator_factory is not None:
         raise ValueError(
             "a shared cache cannot be combined with a custom simulator_factory: "
@@ -263,13 +367,10 @@ def run_campaign(
             pending.append(scenario)
 
     if pending:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            outcomes = pool.map(
-                lambda s: run_scenario(s, simulator_factory=simulator_factory), pending
-            )
-            for scenario, result in zip(pending, outcomes):
-                cache.store(scenario, result)
-                resolved[scenario] = result
+        outcomes = _simulate_pending(pending, executor, max_workers, chunksize, simulator_factory)
+        for scenario, result in zip(pending, outcomes):
+            cache.store(scenario, result)
+            resolved[scenario] = result
 
     records = []
     seen: set = set()

@@ -13,8 +13,8 @@ by every campaign.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.accelerator.compression_modes import (
     COMPRESSION_MODE_DESIGNS,
@@ -132,3 +132,27 @@ class Scenario:
         if self.scheme is not None and self.scheme != design.datapath:
             design = design.with_scheme(self.scheme)
         return design
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready field mapping; inverse of :meth:`from_dict`.
+
+        Every field is emitted explicitly (including defaults) so the
+        serialized form — and therefore the store's content hash — does not
+        change when a field's default value changes.
+        """
+        return {
+            "model": self.model,
+            "task": self.task,
+            "sequence_length": self.sequence_length,
+            "batch_size": int(self.batch_size),
+            "scheme": self.scheme,
+            "design": self.design,
+            "buffer_bytes": int(self.buffer_bytes),
+            "activation_buffer_fraction": float(self.activation_buffer_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})

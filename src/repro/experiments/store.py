@@ -1,0 +1,168 @@
+"""Content-addressed on-disk artifact store for simulation results.
+
+The store makes campaigns incremental across processes: every simulated
+:class:`~repro.experiments.scenario.Scenario` is appended to a JSONL log
+keyed by a stable content hash of the scenario (plus the record schema
+version), and later campaigns — in this process or any other — resolve
+identical grid points from disk instead of re-simulating them.
+
+On-disk layout (one directory per store)::
+
+    <root>/
+      records.jsonl     # one JSON object per line, append-only
+
+Each line is a self-describing record::
+
+    {"schema_version": 1, "key": "<sha256 prefix>",
+     "scenario": {...Scenario.to_dict()...},
+     "result": {...SimulationResult.to_dict()...}}
+
+Records with a different ``schema_version``, unparseable lines, and lines
+whose payload does not rebuild are skipped on load (counted in
+:attr:`ArtifactStore.skipped`), so a store written by a newer code version
+degrades to cache misses rather than crashing.  Unknown *fields inside* a
+record are ignored by ``from_dict`` — see :mod:`repro.accelerator.metrics`.
+
+The content key is computed from the canonical JSON of the scenario's
+field mapping, so it is stable across processes, platforms, and
+``PYTHONHASHSEED`` — unlike ``hash(scenario)``, which keys the in-memory
+:class:`~repro.experiments.campaign.ResultCache` only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.accelerator.metrics import SimulationResult
+from repro.experiments.scenario import Scenario
+
+__all__ = ["SCHEMA_VERSION", "scenario_key", "ArtifactStore"]
+
+# Bump on any change that invalidates stored results: an incompatible
+# serialized form of Scenario/SimulationResult, OR an intentional change
+# to the simulator's numerics (i.e. whenever tests/goldens.json is
+# regenerated).  The key hashes only scenario *inputs*, so without a bump
+# an existing store would silently keep serving pre-change results.
+# Old-version records are ignored (and re-simulated) rather than misread.
+SCHEMA_VERSION = 1
+
+RECORDS_FILENAME = "records.jsonl"
+
+
+def scenario_key(scenario: Scenario, schema_version: int = SCHEMA_VERSION) -> str:
+    """Stable content hash identifying ``scenario`` under ``schema_version``.
+
+    The key is the first 24 hex digits of the SHA-256 of the canonical
+    (sorted-key, compact) JSON of the scenario's fields plus the schema
+    version, so two processes always agree on it.
+    """
+    payload = {"schema_version": schema_version, "scenario": scenario.to_dict()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class ArtifactStore:
+    """Append-only, content-addressed store of scenario → result records.
+
+    Thread-safe; the JSONL log is loaded lazily on first access and kept
+    as an in-memory index afterwards.  Layer it under a
+    :class:`~repro.experiments.campaign.ResultCache` (``ResultCache(store=...)``)
+    to make ``run_campaign`` incremental across processes.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.path = self.root / RECORDS_FILENAME
+        self._lock = threading.Lock()
+        self._index: Optional[Dict[str, Tuple[Scenario, SimulationResult]]] = None
+        #: Lines skipped on load (corrupt, wrong schema version, unreadable).
+        self.skipped = 0
+
+    # -- loading ---------------------------------------------------------
+
+    def _load_locked(self) -> Dict[str, Tuple[Scenario, SimulationResult]]:
+        if self._index is not None:
+            return self._index
+        index: Dict[str, Tuple[Scenario, SimulationResult]] = {}
+        self.skipped = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        if record.get("schema_version") != SCHEMA_VERSION:
+                            raise ValueError("schema version mismatch")
+                        scenario = Scenario.from_dict(record["scenario"])
+                        result = SimulationResult.from_dict(record["result"])
+                        key = record.get("key") or scenario_key(scenario)
+                    except (ValueError, KeyError, TypeError):
+                        self.skipped += 1
+                        continue
+                    index[key] = (scenario, result)
+        self._index = index
+        return index
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._load_locked())
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        with self._lock:
+            return scenario_key(scenario) in self._load_locked()
+
+    def get(self, scenario: Scenario) -> Optional[SimulationResult]:
+        """The stored result for ``scenario``, or ``None``."""
+        with self._lock:
+            entry = self._load_locked().get(scenario_key(scenario))
+            return entry[1] if entry is not None else None
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._load_locked())
+
+    def records(self) -> Iterator[Tuple[Scenario, SimulationResult]]:
+        """All stored ``(scenario, result)`` pairs, in insertion order."""
+        with self._lock:
+            entries = list(self._load_locked().values())
+        return iter(entries)
+
+    # -- mutation --------------------------------------------------------
+
+    def put(self, scenario: Scenario, result: SimulationResult) -> bool:
+        """Persist one record; returns ``False`` if it was already stored."""
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "key": scenario_key(scenario),
+            "scenario": scenario.to_dict(),
+            "result": result.to_dict(),
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            index = self._load_locked()
+            if record["key"] in index:
+                return False
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            index[record["key"]] = (scenario, result)
+            return True
+
+    def clear(self) -> int:
+        """Delete every record (and the log file); returns how many existed."""
+        with self._lock:
+            count = len(self._load_locked())
+            if self.path.exists():
+                self.path.unlink()
+            self._index = {}
+            self.skipped = 0
+            return count

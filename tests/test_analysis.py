@@ -1,9 +1,19 @@
 """Tests for the analysis helpers (footprint study, report formatting)."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.analysis.footprint import footprint_vs_sequence_length
-from repro.analysis.reporting import format_series, format_table
+from repro.analysis.reporting import (
+    format_csv,
+    format_json,
+    format_records,
+    format_series,
+    format_table,
+)
 
 
 class TestFootprintStudy:
@@ -54,3 +64,41 @@ class TestReporting:
         assert "1.230e-04" in text
         assert "1.234e+04" in text or "12345" in text
         assert "1.5" in text
+
+
+class TestMachineReadableFormats:
+    ROWS = [
+        {"model": "bert-base", "total_cycles": 3625719.4937018184},
+        {"model": "bert-large", "total_cycles": 123.0},
+    ]
+
+    def test_format_csv_full_precision_round_trip(self):
+        text = format_csv(["model", "total_cycles"], [[r["model"], r["total_cycles"]] for r in self.ROWS])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        # CSV keeps full float precision (no table-style display rounding).
+        assert float(parsed[0]["total_cycles"]) == self.ROWS[0]["total_cycles"]
+
+    def test_format_csv_quotes_embedded_commas(self):
+        text = format_csv(["a"], [["x,y"]])
+        assert '"x,y"' in text
+
+    def test_format_csv_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_csv(["a", "b"], [["only-one"]])
+
+    def test_format_json_round_trip(self):
+        assert json.loads(format_json(self.ROWS)) == self.ROWS
+
+    def test_format_records_dispatch(self):
+        assert "bert-base" in format_records(self.ROWS, "table")
+        assert format_records(self.ROWS, "csv").startswith("model,total_cycles")
+        assert json.loads(format_records(self.ROWS, "json"))[0]["model"] == "bert-base"
+        with pytest.raises(ValueError):
+            format_records(self.ROWS, "yaml")
+
+    def test_format_records_union_of_columns(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_records(rows, "csv")
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,"

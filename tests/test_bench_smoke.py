@@ -1,0 +1,52 @@
+"""Benchmark smoke test: every ``benchmarks/bench_*.py`` runs on a tiny grid.
+
+The paper-figure benchmarks are not part of the default unit run
+(``testpaths = tests``), so API drift in the packages they import would
+otherwise go unnoticed until someone regenerates the figures.  This test
+— marked ``bench_smoke`` so CI can select it with ``-m bench_smoke`` —
+runs the whole benchmark suite in a subprocess with ``REPRO_BENCH_TINY=1``
+(see ``benchmarks/conftest.py``), which shrinks the sample-heavy
+functional experiments while keeping every grid and assertion intact.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(path.name for path in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.mark.bench_smoke
+def test_all_benchmarks_pass_on_tiny_grid():
+    pytest.importorskip("pytest_benchmark")
+    assert len(BENCH_FILES) >= 18  # the suite exists and was discovered
+
+    env = dict(os.environ)
+    env["REPRO_BENCH_TINY"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", str(BENCH_DIR),
+            "-v", "--no-header", "-p", "no:cacheprovider",
+            "--benchmark-disable-gc",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env=env,
+        timeout=600,
+    )
+    tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-40:])
+    assert proc.returncode == 0, f"tiny benchmark run failed:\n{tail}"
+    # Every bench entry point actually executed (none silently skipped).
+    for name in BENCH_FILES:
+        assert name in proc.stdout, f"{name} was not collected:\n{tail}"
+    assert " PASSED" in proc.stdout
+    assert "FAILED" not in proc.stdout and "ERROR" not in proc.stdout

@@ -1,0 +1,187 @@
+"""Tests for the ``repro`` CLI (``python -m repro``)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCampaignRun:
+    def test_second_identical_run_simulates_nothing(self, tmp_path, capsys):
+        args = [
+            "campaign", "run",
+            "--models", "bert-base",
+            "--designs", "mokey", "tensor-cores",
+            "--buffer-kb", "256", "1024",
+            "--store", str(tmp_path / "store"),
+        ]
+        code, _out, err = run_cli(args, capsys)
+        assert code == 0
+        assert "4 simulated" in err
+        code, _out, err = run_cli(args, capsys)
+        assert code == 0
+        assert "0 simulated" in err
+        assert "4 cache hits (4 from store)" in err
+
+    def test_json_output_is_parseable_and_clean(self, tmp_path, capsys):
+        code, out, err = run_cli(
+            ["campaign", "run", "--store", str(tmp_path / "s"), "--format", "json"], capsys
+        )
+        assert code == 0
+        rows = json.loads(out)  # no summary mixed into stdout
+        assert len(rows) == 1
+        assert rows[0]["model"] == "bert-base"
+        assert "1 records" in err
+
+    def test_csv_output_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.csv"
+        code, out, _err = run_cli(
+            [
+                "campaign", "run",
+                "--store", str(tmp_path / "s"),
+                "--format", "csv",
+                "--output", str(out_file),
+            ],
+            capsys,
+        )
+        assert code == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert lines[0].startswith("model,task,sequence_length")
+        assert len(lines) == 2
+        assert "1 records" in out  # summary goes to stdout when records go to a file
+
+    def test_no_store_mode_never_touches_disk(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _out, err = run_cli(["campaign", "run", "--no-store"], capsys)
+        assert code == 0
+        assert "1 simulated" in err
+        assert not (tmp_path / ".repro-store").exists()
+
+    def test_executor_choices_run(self, tmp_path, capsys):
+        for executor in ("serial", "thread", "process"):
+            code, _out, err = run_cli(
+                [
+                    "campaign", "run",
+                    "--no-store",
+                    "--executor", executor,
+                    "--designs", "mokey",
+                ],
+                capsys,
+            )
+            assert code == 0
+            assert f"executor={executor}" in err
+
+    def test_paper_workloads_flag(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["campaign", "run", "--no-store", "--paper-workloads", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        assert "8 records" in err
+
+    def test_unknown_design_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--designs", "nonexistent", "--store", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_unknown_scheme_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--schemes", "int3", "--store", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_unknown_task_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--tasks", "sqaud", "--store", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+
+class TestReportListClean:
+    @pytest.fixture()
+    def populated_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(
+            [
+                "campaign", "run",
+                "--models", "bert-base", "bert-large",
+                "--designs", "mokey", "tensor-cores",
+                "--store", store,
+            ]
+        )
+        capsys.readouterr()
+        return store
+
+    def test_report_filters_and_formats(self, populated_store, capsys):
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", populated_store, "--design", "mokey",
+             "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 2
+        assert {row["design"] for row in rows} == {"mokey"}
+
+    def test_report_scheme_filter_matches_displayed_column(self, populated_store, capsys):
+        # Records run without a scheme override display the design name in
+        # the scheme column; the filter must match that same value.
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", populated_store, "--scheme", "tensor-cores",
+             "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 2
+        assert {row["scheme"] for row in rows} == {"tensor-cores"}
+
+    def test_report_empty_match_fails(self, populated_store, capsys):
+        code, _out, err = run_cli(
+            ["campaign", "report", "--store", populated_store, "--design", "gobo"], capsys
+        )
+        assert code == 1
+        assert "no matching records" in err
+
+    def test_list_summarises(self, populated_store, capsys):
+        code, out, _err = run_cli(["campaign", "list", "--store", populated_store], capsys)
+        assert code == 0
+        assert "4 records" in out
+        assert "bert-large on mokey: 1" in out
+
+    def test_clean_requires_yes(self, populated_store, capsys):
+        code, _out, err = run_cli(["campaign", "clean", "--store", populated_store], capsys)
+        assert code == 1
+        assert "--yes" in err
+        code, out, _err = run_cli(
+            ["campaign", "clean", "--store", populated_store, "--yes"], capsys
+        )
+        assert code == 0
+        assert "deleted 4 records" in out
+        code, out, _err = run_cli(["campaign", "list", "--store", populated_store], capsys)
+        assert code == 0
+        assert "0 records" in out
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    """The module is runnable as `python -m repro` (what CI exercises)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run", "--no-store"],
+        capture_output=True,
+        text=True,
+        cwd=str(tmp_path),
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "1 simulated" in proc.stderr
