@@ -1,106 +1,68 @@
 """Table I: effect of Mokey quantization on task performance.
 
-For each of the paper's eight model/task rows: the FP score, the score
-after weight-only quantization, the score after weight+activation
-quantization, and the outlier fractions.  The functional models are the
-architecture-preserving scaled twins (see DESIGN.md §2); the scores are
-fidelity to each model's own FP behaviour, so the FP column is 100 by
-construction and the quantized columns show the degradation — the paper's
-"Err" quantity.
+Driven by the campaign engine: the paper's eight (model, task) rows run as
+an accuracy campaign (``run_campaign(..., with_accuracy=True)``), whose
+:class:`~repro.experiments.accuracy.FidelityResult` per row carries the FP
+score, the weight-only and weight+activation scores, and the outlier
+fractions.  The functional models are the architecture-preserving scaled
+twins (see DESIGN.md §2); the scores are fidelity to each model's own FP
+behaviour, so the FP column is 100 by construction and the quantized
+columns show the degradation — the paper's "Err" quantity.
 """
 
-import numpy as np
+from conftest import PAPER_WORKLOAD_SPECS, TINY_MODE
 
-from conftest import TINY_MODE
-
+from repro.analysis.fidelity import table1_rows
 from repro.analysis.reporting import format_table
-from repro.core.model_quantizer import QuantizationMode
-from repro.transformer.model_zoo import PAPER_MODELS, build_simulation_model
-from repro.transformer.tasks import TASK_METRICS, evaluate, generate_inputs, label_with_model
+from repro.experiments import expand_grid, run_campaign
 
 # Tiny mode keeps one row per task family (classification, qa) instead of
 # all eight Table I rows.
-BENCH_MODELS = (PAPER_MODELS[0], PAPER_MODELS[3]) if TINY_MODE else PAPER_MODELS
-
-# Paper Table I reference values (FP score, W-only err, W+A err, W OT%, A OT%).
-PAPER_ROWS = {
-    ("bert-base", "mnli"): (84.44, -0.36, 0.22, 1.6, 4.5),
-    ("bert-large", "mnli"): (86.65, 0.26, 0.96, 1.51, 4.0),
-    ("bert-large", "stsb"): (90.25, 0.13, 0.74, 1.51, 2.5),
-    ("bert-large", "squad"): (93.15, -0.02, 0.93, 1.54, 1.7),
-    ("roberta-large", "mnli"): (90.58, 0.20, 0.77, 1.48, 4.1),
-    ("roberta-large", "stsb"): (92.41, 0.16, 0.89, 1.48, 4.4),
-    ("roberta-large", "squad"): (93.56, 0.31, 0.98, 1.48, 2.9),
-    ("deberta-xl", "mnli"): (91.75, -0.03, 0.57, 1.2, 4.3),
-}
-
-_TASK_TO_FAMILY = {"mnli": "classification", "stsb": "regression", "squad": "qa"}
+BENCH_WORKLOADS = (
+    (PAPER_WORKLOAD_SPECS[0], PAPER_WORKLOAD_SPECS[3]) if TINY_MODE else PAPER_WORKLOAD_SPECS
+)
 
 
-def _evaluate_row(model_quantizer, model_name, task, seed):
-    family = _TASK_TO_FAMILY[task]
-    model = build_simulation_model(model_name, task=task, scale=16, max_layers=2, seed=seed)
-    seq = 48 if task == "squad" else 24
-    pool = label_with_model(
-        model, generate_inputs(model.config.vocab_size, seq, 48, family, seed=seed + 1)
-    )
-    profiling = pool.subset(np.arange(8))
-    evaluation = pool.subset(np.arange(8, 48))
-
-    fp_score = evaluate(model, evaluation)
-    weight_only = model_quantizer.quantize(model, mode=QuantizationMode.WEIGHTS_ONLY)
-    weight_only_score = evaluate(weight_only.model, evaluation)
-    full = model_quantizer.quantize(
-        model, mode=QuantizationMode.WEIGHTS_AND_ACTIVATIONS, profiling_dataset=profiling
-    )
-    hook = full.activation_hook()
-    full_score = evaluate(full.model, evaluation, hook=hook)
-    return {
-        "fp": fp_score,
-        "w_only": weight_only_score,
-        "w_act": full_score,
-        "w_ot": 100 * full.report.weight_outlier_fraction,
-        "a_ot": 100 * hook.outlier_fraction,
-    }
+def _compute():
+    scenarios = expand_grid(workloads=BENCH_WORKLOADS, designs=("mokey",))
+    return run_campaign(scenarios, with_accuracy=True, executor="serial")
 
 
-def _compute(model_quantizer):
-    rows = {}
-    for seed, (model_name, task, _seq, _head) in enumerate(BENCH_MODELS):
-        rows[(model_name, task)] = _evaluate_row(model_quantizer, model_name, task, seed=seed)
-    return rows
-
-
-def test_table1_task_performance(benchmark, model_quantizer):
-    measured = benchmark.pedantic(lambda: _compute(model_quantizer), rounds=1, iterations=1)
+def test_table1_task_performance(benchmark):
+    campaign = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = table1_rows(campaign, scheme="mokey")
+    assert len(rows) == len(BENCH_WORKLOADS)
 
     headers = [
-        "model/task", "metric", "FP", "W-only", "W+A",
+        "model/task", "metric", "FP", "W-only err", "W+A err",
         "W OT% (paper)", "A OT% (paper)",
     ]
-    rows = []
-    for (model_name, task), values in measured.items():
-        paper = PAPER_ROWS[(model_name, task)]
-        rows.append([
-            f"{model_name}/{task}",
-            TASK_METRICS[_TASK_TO_FAMILY[task]],
-            f"{values['fp']:.1f}",
-            f"{values['w_only']:.1f}",
-            f"{values['w_act']:.1f}",
-            f"{values['w_ot']:.1f} ({paper[3]})",
-            f"{values['a_ot']:.1f} ({paper[4]})",
+    printed = []
+    for row in rows:
+        printed.append([
+            f"{row['model']}/{row['task']}",
+            row["metric"],
+            f"{row['fp_score']:.1f}",
+            f"{row['weight_only_err']:.2f} ({row['paper_weight_only_err']})",
+            f"{row['weight_activation_err']:.2f} ({row['paper_weight_activation_err']})",
+            f"{row['weight_outlier_pct']:.1f} ({row['paper_weight_outlier_pct']})",
+            f"{row['activation_outlier_pct']:.1f} ({row['paper_activation_outlier_pct']})",
         ])
     print("\nTable I — task performance under Mokey quantization (fidelity to FP model)")
-    print(format_table(headers, rows))
+    print(format_table(headers, printed))
 
-    for (model_name, task), values in measured.items():
+    for record in campaign:
+        fidelity = record.fidelity
+        label = (record.scenario.model, record.scenario.task)
         # FP fidelity is perfect by construction.
-        assert values["fp"] >= 99.0, (model_name, task)
+        assert fidelity.fp_score >= 99.0, label
         # Weight-only quantization degrades fidelity only mildly.
-        assert values["w_only"] >= 70.0, (model_name, task)
+        assert fidelity.weight_only_score >= 70.0, label
         # Adding activation quantization costs a little more but stays close.
-        assert values["w_act"] >= 55.0, (model_name, task)
-        assert values["w_act"] <= values["fp"] + 1e-9
+        assert fidelity.weight_activation_score >= 55.0, label
+        assert fidelity.weight_activation_score <= fidelity.fp_score + 1e-9
         # Outlier fractions in the paper's ballpark: ~1-3% weights, <10% acts.
-        assert 0.2 < values["w_ot"] < 6.0, (model_name, task)
-        assert values["a_ot"] < 15.0, (model_name, task)
+        assert 0.2 < 100 * fidelity.weight_outlier_fraction < 6.0, label
+        assert 100 * fidelity.activation_outlier_fraction < 15.0, label
+        # 4-bit dictionary quantization compresses FP32 weights by >6x.
+        assert fidelity.compression_ratio > 6.0, label

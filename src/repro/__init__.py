@@ -28,9 +28,11 @@ The package is organised as follows:
 ``repro.experiments``
     The scenario/campaign sweep engine: grid expansion over models, tasks,
     sequence lengths, batch sizes, schemes, designs and buffer sizes, with
-    an in-process result cache and ``concurrent.futures`` fan-out.
+    an in-process result cache, ``concurrent.futures`` fan-out, and
+    accuracy campaigns joining task fidelity to the hardware results.
 ``repro.analysis``
-    Footprint analysis and report formatting shared by the benchmarks.
+    Footprint analysis, fidelity tables and report formatting shared by
+    the benchmarks and the CLI.
 """
 
 from repro.core.golden_dictionary import GoldenDictionary, generate_golden_dictionary
@@ -41,7 +43,13 @@ from repro.transformer.config import TransformerConfig
 from repro.transformer.model import TransformerModel
 from repro.transformer import model_zoo
 from repro.schemes import QuantizationScheme, available_schemes, get_scheme, register_scheme
-from repro.experiments import Scenario, expand_grid, run_campaign
+from repro.experiments import (
+    FidelityResult,
+    Scenario,
+    evaluate_fidelity,
+    expand_grid,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -61,7 +69,9 @@ __all__ = [
     "available_schemes",
     "get_scheme",
     "register_scheme",
+    "FidelityResult",
     "Scenario",
+    "evaluate_fidelity",
     "expand_grid",
     "run_campaign",
     "__version__",

@@ -1,5 +1,6 @@
-"""Analysis helpers: footprint studies and report formatting."""
+"""Analysis helpers: footprint studies, fidelity tables, report formatting."""
 
+from repro.analysis.fidelity import PAPER_TABLE1, joint_rows, table1_rows
 from repro.analysis.footprint import footprint_vs_sequence_length
 from repro.analysis.reporting import (
     format_csv,
@@ -10,6 +11,9 @@ from repro.analysis.reporting import (
 )
 
 __all__ = [
+    "PAPER_TABLE1",
+    "joint_rows",
+    "table1_rows",
     "footprint_vs_sequence_length",
     "format_table",
     "format_series",

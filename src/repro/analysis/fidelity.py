@@ -1,0 +1,158 @@
+"""Table I and joint accuracy-vs-efficiency rows from campaign records.
+
+The paper reports accuracy and cost *together*: Table I gives the task
+fidelity of Mokey's quantization per model/task, Table IV compares methods
+on accuracy *and* speedup/energy at once.  This module turns the joint
+records an accuracy campaign produces
+(:class:`~repro.experiments.campaign.ScenarioRecord` with ``fidelity``
+set) into flat report rows for
+:func:`~repro.analysis.reporting.format_records` — the ``repro table1``
+command is a thin wrapper around these builders.
+
+Scores are fidelity to each model's own FP behaviour, so the "err" columns
+are directly comparable with the paper's "Err" quantity (degradation
+relative to the FP baseline; DESIGN.md §2); the paper's reported values
+ride along in ``paper_*`` columns for side-by-side reading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.campaign import ScenarioRecord
+from repro.transformer.model_zoo import PAPER_MODELS
+
+__all__ = ["PAPER_TABLE1", "table1_rows", "joint_rows"]
+
+#: Paper Table I reference values per (model, task):
+#: (FP score, W-only err, W+A err, W OT%, A OT%).
+PAPER_TABLE1: Dict[Tuple[str, str], Tuple[float, float, float, float, float]] = {
+    ("bert-base", "mnli"): (84.44, -0.36, 0.22, 1.6, 4.5),
+    ("bert-large", "mnli"): (86.65, 0.26, 0.96, 1.51, 4.0),
+    ("bert-large", "stsb"): (90.25, 0.13, 0.74, 1.51, 2.5),
+    ("bert-large", "squad"): (93.15, -0.02, 0.93, 1.54, 1.7),
+    ("roberta-large", "mnli"): (90.58, 0.20, 0.77, 1.48, 4.1),
+    ("roberta-large", "stsb"): (92.41, 0.16, 0.89, 1.48, 4.4),
+    ("roberta-large", "squad"): (93.56, 0.31, 0.98, 1.48, 2.9),
+    ("deberta-xl", "mnli"): (91.75, -0.03, 0.57, 1.2, 4.3),
+}
+
+#: Paper row order: Table I's eight (model, task) pairs.
+_PAPER_ORDER: Tuple[Tuple[str, str], ...] = tuple((m, t) for (m, t, _s, _h) in PAPER_MODELS)
+
+
+def _paper_ordered(keys: Iterable[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    """Paper rows first (in Table I order), any extra pairs after, sorted."""
+    keys = set(keys)
+    ordered = [key for key in _PAPER_ORDER if key in keys]
+    ordered.extend(sorted(keys - set(_PAPER_ORDER)))
+    return ordered
+
+
+def table1_rows(
+    records: Iterable[ScenarioRecord], scheme: str = "mokey"
+) -> List[Dict[str, object]]:
+    """Table I rows: per (model, task) fidelity of ``scheme``'s numerics.
+
+    Takes any iterable of campaign records (e.g. a
+    :class:`~repro.experiments.campaign.CampaignResult`), keeps those
+    carrying a fidelity result for ``scheme``, dedupes to one row per
+    (model, task) — fidelity is identical across seq/batch/buffer points
+    by construction — and orders the paper's eight rows first.  The
+    ``paper_*`` columns carry Table I's reported values where available.
+    """
+    chosen: Dict[Tuple[str, str], ScenarioRecord] = {}
+    for record in records:
+        if record.fidelity is None or record.fidelity.scheme != scheme:
+            continue
+        chosen.setdefault((record.scenario.model, record.scenario.task), record)
+
+    rows: List[Dict[str, object]] = []
+    for model, task in _paper_ordered(chosen):
+        fidelity = chosen[(model, task)].fidelity
+        paper = PAPER_TABLE1.get((model, task))
+        rows.append(
+            {
+                "model": model,
+                "task": task,
+                "metric": fidelity.metric,
+                "fp_score": fidelity.fp_score,
+                "weight_only_err": fidelity.weight_only_error,
+                "weight_activation_err": (
+                    "" if fidelity.weight_activation_error is None
+                    else fidelity.weight_activation_error
+                ),
+                "weight_outlier_pct": 100.0 * fidelity.weight_outlier_fraction,
+                "activation_outlier_pct": 100.0 * fidelity.activation_outlier_fraction,
+                "paper_fp_score": "" if paper is None else paper[0],
+                "paper_weight_only_err": "" if paper is None else paper[1],
+                "paper_weight_activation_err": "" if paper is None else paper[2],
+                "paper_weight_outlier_pct": "" if paper is None else paper[3],
+                "paper_activation_outlier_pct": "" if paper is None else paper[4],
+            }
+        )
+    return rows
+
+
+def joint_rows(
+    records: Iterable[ScenarioRecord],
+    target_design: str = "mokey",
+    baseline_design: str = "tensor-cores",
+) -> List[Dict[str, object]]:
+    """Joint accuracy-vs-speedup/energy rows (Table IV style).
+
+    Pairs each ``target_design`` record carrying fidelity with the
+    ``baseline_design`` record of the same workload point (model, task,
+    sequence length, batch, buffer) and reports the fidelity cost next to
+    the speedup and energy-efficiency gain over the baseline — the
+    accuracy and hardware halves of the paper's claim in one row.
+    Baseline points without a counterpart are skipped.
+    """
+    baselines: Dict[Tuple[str, str, int, int, int], ScenarioRecord] = {}
+    targets: Dict[Tuple[str, str, int, int, int], ScenarioRecord] = {}
+    for record in records:
+        point = (
+            record.scenario.model,
+            record.scenario.task,
+            record.scenario.resolved_sequence_length,
+            record.scenario.batch_size,
+            record.scenario.buffer_bytes,
+        )
+        if record.scenario.design == baseline_design:
+            baselines.setdefault(point, record)
+        elif record.scenario.design == target_design and record.fidelity is not None:
+            targets.setdefault(point, record)
+
+    rows: List[Dict[str, object]] = []
+    ordered_points = sorted(
+        targets,
+        key=lambda point: (
+            _PAPER_ORDER.index(point[:2]) if point[:2] in _PAPER_ORDER else len(_PAPER_ORDER),
+            point,
+        ),
+    )
+    for point in ordered_points:
+        target = targets[point]
+        baseline: Optional[ScenarioRecord] = baselines.get(point)
+        if baseline is None:
+            continue
+        fidelity = target.fidelity
+        error = fidelity.weight_activation_error
+        if error is None:
+            error = fidelity.weight_only_error
+        rows.append(
+            {
+                "model": point[0],
+                "task": point[1],
+                "sequence_length": point[2],
+                "batch_size": point[3],
+                "metric": fidelity.metric,
+                "scheme": fidelity.scheme,
+                "fidelity_err": error,
+                "weight_compression": fidelity.compression_ratio,
+                "speedup": target.result.speedup_over(baseline.result),
+                "energy_efficiency": target.result.energy_efficiency_over(baseline.result),
+                "baseline": baseline_design,
+            }
+        )
+    return rows

@@ -6,9 +6,12 @@ so repeated runs only simulate new grid points::
 
     repro campaign run --models bert-base bert-large --designs mokey \\
         --buffer-kb 256 512 --executor process
+    repro campaign run --paper-workloads --with-accuracy
     repro campaign report --design mokey --format csv
     repro campaign list
     repro campaign clean --yes
+    repro table1                 # the paper's eight Table I fidelity rows
+    repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
 
 (or ``python -m repro ...`` without installing the console script.)
 
@@ -24,15 +27,19 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro.analysis.fidelity import joint_rows, table1_rows
 from repro.analysis.reporting import RECORD_FORMATS, format_records
 from repro.experiments import (
     EXECUTORS,
     ArtifactStore,
     ResultCache,
     ScenarioRecord,
+    UnsupportedSchemeError,
     available_designs,
     expand_grid,
     run_campaign,
+    supported_accuracy_schemes,
+    supports_accuracy,
 )
 from repro.schemes import available_schemes
 from repro.accelerator.workloads import TASK_SEQUENCE_LENGTHS
@@ -185,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenarios per process-pool work item (process executor only)",
     )
     run.add_argument(
+        "--with-accuracy",
+        action="store_true",
+        help="also evaluate task fidelity per (model, task, scheme) and join it "
+        "to each record (one quantization serves every seq/batch/buffer point)",
+    )
+    run.add_argument(
         "--no-store", action="store_true", help="do not read or write the artifact store"
     )
     _add_store_argument(run)
@@ -213,6 +226,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clean.add_argument("--yes", action="store_true", help="actually delete (no prompt)")
     _add_store_argument(clean)
+
+    table1 = commands.add_parser(
+        "table1",
+        help="reproduce the paper's Table I task-fidelity rows",
+        description=(
+            "Run the accuracy campaign over the paper's eight Table I "
+            "(model, task) pairs — plus the Tensor Cores baseline for the "
+            "joint view — and render the fidelity rows next to the paper's "
+            "reported values. Results persist to the artifact store, so a "
+            "second invocation simulates and evaluates nothing."
+        ),
+    )
+    table1.add_argument(
+        "--scheme",
+        default="mokey",
+        metavar="SCHEME",
+        help="numerics scheme to evaluate (default: mokey)",
+    )
+    table1.add_argument(
+        "--joint",
+        action="store_true",
+        help="render the joint accuracy-vs-speedup/energy view (Table IV style) "
+        "instead of the Table I fidelity rows",
+    )
+    table1.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="thread",
+        help="how to fan the grid out",
+    )
+    table1.add_argument(
+        "--workers", type=int, default=None, metavar="N", help="pool width (default: automatic)"
+    )
+    table1.add_argument(
+        "--no-store", action="store_true", help="do not read or write the artifact store"
+    )
+    _add_store_argument(table1)
+    _add_format_arguments(table1)
 
     return parser
 
@@ -267,30 +318,83 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     store = None if args.no_store else ArtifactStore(args.store or _default_store())
     cache = ResultCache(store=store)
     started = time.perf_counter()
-    campaign = run_campaign(
-        scenarios,
-        max_workers=args.workers,
-        cache=cache,
-        executor=args.executor,
-        chunksize=args.chunksize,
-    )
+    try:
+        campaign = run_campaign(
+            scenarios,
+            max_workers=args.workers,
+            cache=cache,
+            executor=args.executor,
+            chunksize=args.chunksize,
+            with_accuracy=args.with_accuracy,
+        )
+    except UnsupportedSchemeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
     summary = (
         f"{len(campaign)} records: {campaign.simulated_count} simulated, "
         f"{len(campaign) - campaign.simulated_count} cache hits "
-        f"({cache.store_hits} from store) in {elapsed:.2f}s "
-        f"[executor={args.executor}"
+        f"({cache.store_hits} from store)"
+        + (f", {campaign.fidelity_evaluated} fidelity evaluated" if args.with_accuracy else "")
+        + f" in {elapsed:.2f}s [executor={args.executor}"
         + ("]" if store is None else f", store={store.root}]")
     )
     _emit(format_records(campaign.to_dicts(), args.format), summary, args.output)
     return 0
 
 
+def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if not supports_accuracy(args.scheme):
+        known = ", ".join(supported_accuracy_schemes())
+        print(
+            f"error: scheme {args.scheme!r} has no accuracy-side numerics evaluator "
+            f"(choices: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    # The target rows run the scheme's numerics on the Mokey design with
+    # fidelity; the Tensor Cores baseline rides along hardware-only (its
+    # fidelity is never read) so --joint can pair speedup/energy.
+    scheme = None if args.scheme == "mokey" else args.scheme
+    workloads = [(model, task, seq) for (model, task, seq, _head) in PAPER_MODELS]
+    store = None if args.no_store else ArtifactStore(args.store or _default_store())
+    cache = ResultCache(store=store)
+    started = time.perf_counter()
+    target = run_campaign(
+        expand_grid(workloads=workloads, schemes=(scheme,), designs=("mokey",)),
+        max_workers=args.workers,
+        cache=cache,
+        executor=args.executor,
+        with_accuracy=True,
+    )
+    baseline = run_campaign(
+        expand_grid(workloads=workloads, designs=("tensor-cores",)),
+        max_workers=args.workers,
+        cache=cache,
+        executor=args.executor,
+    )
+    elapsed = time.perf_counter() - started
+    records = list(target) + list(baseline)
+    if args.joint:
+        rows = joint_rows(records, target_design="mokey", baseline_design="tensor-cores")
+    else:
+        rows = table1_rows(records, scheme=args.scheme)
+    simulated = target.simulated_count + baseline.simulated_count
+    view = "joint accuracy-vs-efficiency" if args.joint else "Table I fidelity"
+    summary = (
+        f"{len(rows)} {view} rows ({simulated} simulated, "
+        f"{target.fidelity_evaluated} fidelity evaluated) in {elapsed:.2f}s"
+        + ("" if store is None else f" [store={store.root}]")
+    )
+    _emit(format_records(rows, args.format), summary, args.output)
+    return 0
+
+
 def _stored_records(args: argparse.Namespace) -> List[ScenarioRecord]:
     store = ArtifactStore(args.store or _default_store())
     return [
-        ScenarioRecord(scenario=scenario, result=result, cached=True)
-        for scenario, result in store.records()
+        ScenarioRecord(scenario=scenario, result=result, cached=True, fidelity=fidelity)
+        for scenario, result, fidelity in store.records()
     ]
 
 
@@ -329,9 +433,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
     if store.skipped:
         print(f"  ({store.skipped} unreadable/old-schema lines skipped)")
     counts: dict = {}
-    for scenario, _result in records:
+    with_fidelity = 0
+    for scenario, _result, fidelity in records:
         key = (scenario.model, scenario.design)
         counts[key] = counts.get(key, 0) + 1
+        if fidelity is not None:
+            with_fidelity += 1
+    if with_fidelity:
+        print(f"  ({with_fidelity} records carry fidelity results)")
     for (model, design), count in sorted(counts.items()):
         print(f"  {model} on {design}: {count}")
     return 0
@@ -363,6 +472,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(args)
         if args.action == "clean":
             return _cmd_clean(args)
+    if args.command == "table1":
+        return _cmd_table1(parser, args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -19,7 +19,12 @@ share one sweep loop instead of each re-implementing it:
 * :func:`~repro.experiments.campaign.run_campaign` — fans the scenarios
   out over the chosen executor (``serial | thread | process``) and
   returns structured :class:`~repro.experiments.campaign.ScenarioRecord`
-  rows consumable by :mod:`repro.analysis.reporting`.
+  rows consumable by :mod:`repro.analysis.reporting`;
+* :mod:`repro.experiments.accuracy` — the accuracy half of the paper's
+  joint claim: ``run_campaign(..., with_accuracy=True)`` joins a
+  :class:`~repro.experiments.accuracy.FidelityResult` (task fidelity to
+  the FP model, outlier fractions, compression) to every record, memoised
+  per ``(model, task, scheme)`` and persisted through the store.
 
 The ``repro`` CLI (``python -m repro campaign ...``) drives this package
 from the command line.
@@ -47,6 +52,19 @@ register a scheme (see :mod:`repro.schemes`) and are immediately sweepable
 via the ``schemes=`` axis.
 """
 
+from repro.experiments.accuracy import (
+    DEFAULT_ACCURACY_SETTINGS,
+    AccuracySettings,
+    FidelityResult,
+    UnsupportedSchemeError,
+    accuracy_key,
+    accuracy_scheme_for,
+    evaluate_fidelity,
+    fidelity_digest,
+    register_fidelity_evaluator,
+    supported_accuracy_schemes,
+    supports_accuracy,
+)
 from repro.experiments.scenario import (
     DESIGN_FACTORIES,
     Scenario,
@@ -66,6 +84,17 @@ from repro.experiments.campaign import (
 from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, scenario_key
 
 __all__ = [
+    "DEFAULT_ACCURACY_SETTINGS",
+    "AccuracySettings",
+    "FidelityResult",
+    "UnsupportedSchemeError",
+    "accuracy_key",
+    "accuracy_scheme_for",
+    "evaluate_fidelity",
+    "fidelity_digest",
+    "register_fidelity_evaluator",
+    "supported_accuracy_schemes",
+    "supports_accuracy",
     "DESIGN_FACTORIES",
     "Scenario",
     "available_designs",

@@ -23,7 +23,22 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 from repro.accelerator.metrics import SimulationResult
 from repro.accelerator.simulator import AcceleratorSimulator
+from repro.experiments.accuracy import (
+    DEFAULT_ACCURACY_SETTINGS,
+    AccuracyKey,
+    AccuracySettings,
+    FidelityResult,
+    UnsupportedSchemeError,
+    accuracy_key,
+    evaluate_fidelity,
+    supported_accuracy_schemes,
+    supports_accuracy,
+)
 from repro.experiments.scenario import KB, Scenario
+from repro.transformer.model_zoo import MODEL_CONFIGS
+from repro.transformer.tasks import task_family
+
+_DEFAULT_SETTINGS_DIGEST = DEFAULT_ACCURACY_SETTINGS.digest()
 
 __all__ = [
     "EXECUTORS",
@@ -52,11 +67,18 @@ class ResultCache:
 
     def __init__(self, store: Optional[Any] = None) -> None:
         self._results: Dict[Scenario, SimulationResult] = {}
+        # Fidelity memo, keyed by (model, task, scheme) + settings digest:
+        # one quantization + evaluation serves every seq/batch/design/buffer
+        # point of a grid, but never a run under different settings.
+        self._fidelity: Dict[Tuple[AccuracyKey, str], FidelityResult] = {}
         self._lock = threading.Lock()
         self._store = store
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
+        self.fidelity_hits = 0
+        self.fidelity_misses = 0
+        self.fidelity_store_hits = 0
 
     @property
     def backing_store(self) -> Optional[Any]:
@@ -90,19 +112,77 @@ class ResultCache:
             self.misses += 1
         return None
 
-    def store(self, scenario: Scenario, result: SimulationResult) -> None:
+    def store(
+        self,
+        scenario: Scenario,
+        result: SimulationResult,
+        fidelity: Optional[FidelityResult] = None,
+    ) -> None:
+        memo_key = (
+            None if fidelity is None else (accuracy_key(scenario), fidelity.settings_digest)
+        )
         with self._lock:
             self._results[scenario] = result
+            if memo_key is not None:
+                self._fidelity[memo_key] = fidelity
         if self._store is not None:
-            self._store.put(scenario, result)
+            self._store.put(scenario, result, fidelity=fidelity)
+
+    def lookup_fidelity(
+        self,
+        scenario: Scenario,
+        key: Optional[AccuracyKey] = None,
+        settings_digest: Optional[str] = None,
+    ) -> Optional[FidelityResult]:
+        """The cached fidelity for ``scenario``, counting a hit or miss.
+
+        Resolution order: the in-memory memo by :func:`accuracy_key` (one
+        evaluation serves every seq/batch/buffer point sharing the key),
+        then the backing store by scenario.  A result only hits when its
+        settings digest matches ``settings_digest`` — stored fidelity from
+        a differently-parameterised evaluation is never served.
+        """
+        key = accuracy_key(scenario) if key is None else key
+        if settings_digest is None:
+            settings_digest = _DEFAULT_SETTINGS_DIGEST
+        memo_key = (key, settings_digest)
+        with self._lock:
+            fidelity = self._fidelity.get(memo_key)
+            if fidelity is not None:
+                self.fidelity_hits += 1
+                return fidelity
+        if self._store is not None:
+            fidelity = self._store.get_fidelity(scenario)
+            if fidelity is not None and fidelity.settings_digest == settings_digest:
+                with self._lock:
+                    self._fidelity[memo_key] = fidelity
+                    self.fidelity_hits += 1
+                    self.fidelity_store_hits += 1
+                return fidelity
+        with self._lock:
+            self.fidelity_misses += 1
+        return None
+
+    def store_fidelity(
+        self, scenario: Scenario, result: SimulationResult, fidelity: FidelityResult
+    ) -> None:
+        """Memoise ``fidelity`` and upgrade the scenario's store record."""
+        with self._lock:
+            self._fidelity[(accuracy_key(scenario), fidelity.settings_digest)] = fidelity
+        if self._store is not None:
+            self._store.put(scenario, result, fidelity=fidelity)
 
     def clear(self) -> None:
         """Reset the in-memory cache and counters (not the backing store)."""
         with self._lock:
             self._results.clear()
+            self._fidelity.clear()
             self.hits = 0
             self.misses = 0
             self.store_hits = 0
+            self.fidelity_hits = 0
+            self.fidelity_misses = 0
+            self.fidelity_store_hits = 0
 
 
 @dataclass
@@ -113,11 +193,14 @@ class ScenarioRecord:
         scenario: The grid point that produced the result.
         result: The full simulation result.
         cached: Whether the result came from the cache without simulating.
+        fidelity: Task-fidelity outcome joined by an accuracy campaign
+            (``None`` for hardware-only runs).
     """
 
     scenario: Scenario
     result: SimulationResult
     cached: bool = False
+    fidelity: Optional[FidelityResult] = None
 
     @property
     def workload_name(self) -> str:
@@ -136,19 +219,49 @@ class ScenarioRecord:
             "scenario": self.scenario.to_dict(),
             "result": self.result.to_dict(),
             "cached": bool(self.cached),
+            "fidelity": None if self.fidelity is None else self.fidelity.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioRecord":
         """Rebuild a record from :meth:`to_dict` output, ignoring unknown keys."""
+        raw_fidelity = data.get("fidelity")
         return cls(
             scenario=Scenario.from_dict(data.get("scenario") or {}),
             result=SimulationResult.from_dict(data.get("result") or {}),
             cached=bool(data.get("cached", False)),
+            fidelity=None if raw_fidelity is None else FidelityResult.from_dict(raw_fidelity),
         )
 
     def to_row(self) -> Dict[str, object]:
-        """Flatten scenario + headline metrics for tabular reporting."""
+        """Flatten scenario + headline metrics for tabular reporting.
+
+        Fidelity columns are appended only when the record carries an
+        accuracy result, so hardware-only reports keep their column set.
+        """
+        row = self._hardware_row()
+        if self.fidelity is not None:
+            f = self.fidelity
+            row.update(
+                {
+                    "fidelity_metric": f.metric,
+                    "fp_score": f.fp_score,
+                    "weight_only_score": f.weight_only_score,
+                    "weight_only_err": f.weight_only_error,
+                    "weight_activation_score": (
+                        "" if f.weight_activation_score is None else f.weight_activation_score
+                    ),
+                    "weight_activation_err": (
+                        "" if f.weight_activation_error is None else f.weight_activation_error
+                    ),
+                    "weight_outlier_pct": 100.0 * f.weight_outlier_fraction,
+                    "activation_outlier_pct": 100.0 * f.activation_outlier_fraction,
+                    "weight_compression": f.compression_ratio,
+                }
+            )
+        return row
+
+    def _hardware_row(self) -> Dict[str, object]:
         return {
             "model": self.scenario.model,
             "task": self.scenario.task,
@@ -176,9 +289,17 @@ class CampaignResult:
     ``workload`` key matching the workload label).
     """
 
-    def __init__(self, records: Sequence[ScenarioRecord], cache: ResultCache) -> None:
+    def __init__(
+        self,
+        records: Sequence[ScenarioRecord],
+        cache: ResultCache,
+        fidelity_evaluated: int = 0,
+    ) -> None:
         self.records = list(records)
         self.cache = cache
+        #: How many fidelity evaluations this campaign actually ran (the
+        #: rest were memo/store hits or scenarios sharing an accuracy key).
+        self.fidelity_evaluated = fidelity_evaluated
 
     def __iter__(self):
         return iter(self.records)
@@ -308,6 +429,96 @@ def _simulate_pending(
         return list(pool.map(task, pending, chunksize=chunksize))
 
 
+def _evaluate_accuracy_key(
+    key: AccuracyKey, settings: Optional[AccuracySettings] = None
+) -> FidelityResult:
+    """Evaluate one fidelity memo key (module-level, so it pickles)."""
+    model, task, scheme = key
+    return evaluate_fidelity(model, task, scheme, settings=settings)
+
+
+def _evaluate_pending_fidelity(
+    pending: Sequence[AccuracyKey],
+    executor: str,
+    max_workers: Optional[int],
+    settings: Optional[AccuracySettings],
+) -> List[FidelityResult]:
+    """Evaluate ``pending`` accuracy keys, preserving order.
+
+    Only the process executor fans out: fidelity evaluation is pure-Python
+    NumPy work sharing one Mokey model quantizer, so threads would just
+    contend on the GIL (and on the quantizer's per-tensor state).
+    """
+    task = functools.partial(_evaluate_accuracy_key, settings=settings)
+    if executor == "process" and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(task, pending))
+    return [task(key) for key in pending]
+
+
+def _validate_accuracy_support(scenarios: Sequence[Scenario]) -> None:
+    """Fail fast (before any simulation) on grids fidelity cannot evaluate.
+
+    The hardware side tolerates unknown tasks (they just default the
+    sequence length) and needs only the model's *shape*, but the accuracy
+    side must build the functional twin and the task's dataset — so
+    schemes without numerics, unknown tasks and unknown models are all
+    rejected here, before any simulation work is spent.
+    """
+    schemes = {accuracy_key(scenario)[2] for scenario in scenarios}
+    unsupported = sorted(s for s in schemes if not supports_accuracy(s))
+    if unsupported:
+        raise UnsupportedSchemeError(
+            f"scheme(s) {', '.join(repr(s) for s in unsupported)} have no accuracy-side "
+            f"numerics evaluator (schemes supporting accuracy campaigns: "
+            f"{', '.join(supported_accuracy_schemes())})"
+        )
+    for task in sorted({scenario.task for scenario in scenarios}):
+        task_family(task)  # raises ValueError for unknown tasks
+    unknown_models = sorted(
+        {scenario.model for scenario in scenarios} - set(MODEL_CONFIGS)
+    )
+    if unknown_models:
+        raise ValueError(
+            f"unknown model(s) {', '.join(repr(m) for m in unknown_models)} "
+            f"(known: {', '.join(sorted(MODEL_CONFIGS))})"
+        )
+
+
+def _resolve_fidelities(
+    scenarios: Sequence[Scenario],
+    cache: ResultCache,
+    executor: str,
+    max_workers: Optional[int],
+    settings: Optional[AccuracySettings],
+) -> Tuple[Dict[Scenario, FidelityResult], int]:
+    """Fidelity for every scenario, evaluating each unique accuracy key once.
+
+    Returns the per-scenario mapping plus how many keys were actually
+    evaluated (as opposed to served by the cache or the backing store).
+    Assumes scheme support was validated by :func:`_validate_accuracy_support`.
+    """
+    settings_digest = (settings or DEFAULT_ACCURACY_SETTINGS).digest()
+    keys: Dict[Scenario, AccuracyKey] = {}
+    for scenario in scenarios:
+        if scenario not in keys:
+            keys[scenario] = accuracy_key(scenario)
+    resolved: Dict[AccuracyKey, FidelityResult] = {}
+    pending: List[AccuracyKey] = []
+    for scenario, key in keys.items():
+        if key in resolved or key in pending:
+            continue
+        hit = cache.lookup_fidelity(scenario, key=key, settings_digest=settings_digest)
+        if hit is not None:
+            resolved[key] = hit
+        else:
+            pending.append(key)
+    if pending:
+        outcomes = _evaluate_pending_fidelity(pending, executor, max_workers, settings)
+        resolved.update(zip(pending, outcomes))
+    return {scenario: resolved[key] for scenario, key in keys.items()}, len(pending)
+
+
 def run_campaign(
     scenarios: Sequence[Scenario],
     max_workers: Optional[int] = None,
@@ -315,6 +526,8 @@ def run_campaign(
     simulator_factory: Callable[[Scenario], AcceleratorSimulator] = None,
     executor: str = "thread",
     chunksize: Optional[int] = None,
+    with_accuracy: bool = False,
+    accuracy_settings: Optional[AccuracySettings] = None,
 ) -> CampaignResult:
     """Simulate every scenario, fanning out across the chosen executor.
 
@@ -341,6 +554,19 @@ def run_campaign(
             so this is the fast choice for large grids).
         chunksize: Scenarios per process-pool work item (``process``
             only); defaults to ~4 chunks per worker.
+        with_accuracy: Also evaluate task fidelity (see
+            :mod:`repro.experiments.accuracy`) and join a
+            :class:`~repro.experiments.accuracy.FidelityResult` to every
+            record.  Fidelity is memoised per ``(model, task, scheme)`` —
+            one quantization serves every seq/batch/buffer point — and
+            persists through the backing store alongside the hardware
+            result; raises
+            :class:`~repro.experiments.accuracy.UnsupportedSchemeError`
+            before any evaluation if a swept scheme has no numerics side.
+        accuracy_settings: Evaluation parameters for the accuracy side
+            (functional-twin scale, sample counts, Golden-Dictionary
+            build); defaults to
+            :data:`~repro.experiments.accuracy.DEFAULT_ACCURACY_SETTINGS`.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r} (choose from {', '.join(EXECUTORS)})")
@@ -351,6 +577,8 @@ def run_campaign(
             "from different simulator configurations; use a dedicated cache"
         )
     cache = cache if cache is not None else ResultCache()
+    if with_accuracy:
+        _validate_accuracy_support(scenarios)
 
     resolved: Dict[Scenario, SimulationResult] = {}
     cached_flags: Dict[Scenario, bool] = {}
@@ -369,8 +597,27 @@ def run_campaign(
     if pending:
         outcomes = _simulate_pending(pending, executor, max_workers, chunksize, simulator_factory)
         for scenario, result in zip(pending, outcomes):
-            cache.store(scenario, result)
             resolved[scenario] = result
+
+    fidelities: Dict[Scenario, FidelityResult] = {}
+    fidelity_evaluated = 0
+    try:
+        if with_accuracy:
+            fidelities, fidelity_evaluated = _resolve_fidelities(
+                list(resolved), cache, executor, max_workers, accuracy_settings
+            )
+    finally:
+        # Persist even if fidelity resolution raises: freshly simulated
+        # hardware results are never thrown away.  On success each pending
+        # scenario lands with its fidelity in one record; store-hit
+        # scenarios that predate the accuracy campaign get their record
+        # upgraded in place.
+        for scenario in pending:
+            cache.store(scenario, resolved[scenario], fidelity=fidelities.get(scenario))
+    if with_accuracy:
+        for scenario, was_cached in cached_flags.items():
+            if was_cached:
+                cache.store_fidelity(scenario, resolved[scenario], fidelities[scenario])
 
     records = []
     seen: set = set()
@@ -378,7 +625,12 @@ def run_campaign(
         # Later duplicates of an in-run scenario reuse the first record's
         # result, so they count as cache reuses too.
         records.append(
-            ScenarioRecord(scenario=s, result=resolved[s], cached=cached_flags[s] or s in seen)
+            ScenarioRecord(
+                scenario=s,
+                result=resolved[s],
+                cached=cached_flags[s] or s in seen,
+                fidelity=fidelities.get(s),
+            )
         )
         seen.add(s)
-    return CampaignResult(records, cache)
+    return CampaignResult(records, cache, fidelity_evaluated=fidelity_evaluated)

@@ -15,7 +15,16 @@ Each line is a self-describing record::
 
     {"schema_version": 1, "key": "<sha256 prefix>",
      "scenario": {...Scenario.to_dict()...},
-     "result": {...SimulationResult.to_dict()...}}
+     "result": {...SimulationResult.to_dict()...},
+     "fidelity": {...FidelityResult.to_dict()...}}   # optional
+
+The ``fidelity`` field is the accuracy half of the record (see
+:mod:`repro.experiments.accuracy`); it is omitted for hardware-only
+records, and a later accuracy campaign *upgrades* such a record by
+appending a new line under the same key (the last line per key wins on
+load).  Because unknown fields are tolerated in both directions, adding
+fidelity needs no ``SCHEMA_VERSION`` bump — the simulator numerics the
+key protects are unchanged.
 
 Records with a different ``schema_version``, unparseable lines, and lines
 whose payload does not rebuild are skipped on load (counted in
@@ -39,6 +48,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.accelerator.metrics import SimulationResult
+from repro.experiments.accuracy import FidelityResult
 from repro.experiments.scenario import Scenario
 
 __all__ = ["SCHEMA_VERSION", "scenario_key", "ArtifactStore"]
@@ -79,16 +89,20 @@ class ArtifactStore:
         self.root = Path(root)
         self.path = self.root / RECORDS_FILENAME
         self._lock = threading.Lock()
-        self._index: Optional[Dict[str, Tuple[Scenario, SimulationResult]]] = None
+        self._index: Optional[
+            Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]
+        ] = None
         #: Lines skipped on load (corrupt, wrong schema version, unreadable).
         self.skipped = 0
 
     # -- loading ---------------------------------------------------------
 
-    def _load_locked(self) -> Dict[str, Tuple[Scenario, SimulationResult]]:
+    def _load_locked(
+        self,
+    ) -> Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]:
         if self._index is not None:
             return self._index
-        index: Dict[str, Tuple[Scenario, SimulationResult]] = {}
+        index: Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]] = {}
         self.skipped = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as handle:
@@ -102,11 +116,15 @@ class ArtifactStore:
                             raise ValueError("schema version mismatch")
                         scenario = Scenario.from_dict(record["scenario"])
                         result = SimulationResult.from_dict(record["result"])
+                        raw_fidelity = record.get("fidelity")
+                        fidelity = (
+                            None if raw_fidelity is None else FidelityResult.from_dict(raw_fidelity)
+                        )
                         key = record.get("key") or scenario_key(scenario)
-                    except (ValueError, KeyError, TypeError):
+                    except (ValueError, KeyError, TypeError, AttributeError):
                         self.skipped += 1
                         continue
-                    index[key] = (scenario, result)
+                    index[key] = (scenario, result, fidelity)
         self._index = index
         return index
 
@@ -126,35 +144,63 @@ class ArtifactStore:
             entry = self._load_locked().get(scenario_key(scenario))
             return entry[1] if entry is not None else None
 
+    def get_fidelity(self, scenario: Scenario) -> Optional[FidelityResult]:
+        """The stored fidelity for ``scenario``, or ``None``."""
+        with self._lock:
+            entry = self._load_locked().get(scenario_key(scenario))
+            return entry[2] if entry is not None else None
+
     def keys(self) -> List[str]:
         with self._lock:
             return list(self._load_locked())
 
-    def records(self) -> Iterator[Tuple[Scenario, SimulationResult]]:
-        """All stored ``(scenario, result)`` pairs, in insertion order."""
+    def records(
+        self,
+    ) -> Iterator[Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]:
+        """All stored ``(scenario, result, fidelity)`` triples, in insertion order.
+
+        ``fidelity`` is ``None`` for hardware-only records.
+        """
         with self._lock:
             entries = list(self._load_locked().values())
         return iter(entries)
 
     # -- mutation --------------------------------------------------------
 
-    def put(self, scenario: Scenario, result: SimulationResult) -> bool:
-        """Persist one record; returns ``False`` if it was already stored."""
-        record = {
-            "schema_version": SCHEMA_VERSION,
-            "key": scenario_key(scenario),
-            "scenario": scenario.to_dict(),
-            "result": result.to_dict(),
-        }
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    def put(
+        self,
+        scenario: Scenario,
+        result: SimulationResult,
+        fidelity: Optional[FidelityResult] = None,
+    ) -> bool:
+        """Persist one record; returns ``False`` if nothing new was stored.
+
+        A record already stored without fidelity is *upgraded* when
+        ``fidelity`` is provided: a fresh line is appended under the same
+        key (the last line per key wins on load).  A record that already
+        carries fidelity is never rewritten, and the no-op path skips
+        serialization entirely (it is the hot path of fully-cached
+        re-runs).
+        """
+        key = scenario_key(scenario)
         with self._lock:
             index = self._load_locked()
-            if record["key"] in index:
+            existing = index.get(key)
+            if existing is not None and (fidelity is None or existing[2] is not None):
                 return False
+            record = {
+                "schema_version": SCHEMA_VERSION,
+                "key": key,
+                "scenario": scenario.to_dict(),
+                "result": result.to_dict(),
+            }
+            if fidelity is not None:
+                record["fidelity"] = fidelity.to_dict()
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
             self.root.mkdir(parents=True, exist_ok=True)
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
-            index[record["key"]] = (scenario, result)
+            index[key] = (scenario, result, fidelity)
             return True
 
     def clear(self) -> int:

@@ -28,6 +28,8 @@ __all__ = [
     "span_f1",
     "evaluate",
     "TASK_METRICS",
+    "TASK_FAMILIES",
+    "task_family",
 ]
 
 TASK_METRICS: Dict[str, str] = {
@@ -35,6 +37,24 @@ TASK_METRICS: Dict[str, str] = {
     "regression": "spearman",
     "qa": "f1",
 }
+
+#: The paper's evaluation datasets mapped to their synthetic task family.
+TASK_FAMILIES: Dict[str, str] = {
+    "mnli": "classification",
+    "stsb": "regression",
+    "squad": "qa",
+}
+
+
+def task_family(task: str) -> str:
+    """The task family for a dataset name (``"mnli"``) or family name itself."""
+    if task in TASK_METRICS:
+        return task
+    try:
+        return TASK_FAMILIES[task]
+    except KeyError:
+        known = ", ".join(sorted(set(TASK_FAMILIES) | set(TASK_METRICS)))
+        raise ValueError(f"unknown task {task!r} (known tasks: {known})") from None
 
 
 @dataclass

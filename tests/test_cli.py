@@ -173,6 +173,133 @@ class TestReportListClean:
         assert "0 records" in out
 
 
+class TestAccuracyRun:
+    @pytest.fixture()
+    def compute_only_scheme(self):
+        from repro.schemes import QuantizationScheme, register_scheme
+        from repro.schemes.base import _REGISTRY
+
+        class ComputeOnlyScheme(QuantizationScheme):
+            name = "compute-only-cli"
+
+            def layer_compute(self, workload, design):  # pragma: no cover
+                raise NotImplementedError
+
+        register_scheme(ComputeOnlyScheme(), replace=True)
+        yield "compute-only-cli"
+        _REGISTRY.pop("compute-only-cli", None)
+
+    def test_with_accuracy_persists_joint_records(self, tmp_path, capsys):
+        args = [
+            "campaign", "run",
+            "--models", "bert-base",
+            "--designs", "mokey",
+            "--with-accuracy",
+            "--store", str(tmp_path / "store"),
+            "--format", "json",
+        ]
+        code, out, err = run_cli(args, capsys)
+        assert code == 0
+        assert "1 simulated" in err and "1 fidelity evaluated" in err
+        rows = json.loads(out)
+        assert rows[0]["fp_score"] == pytest.approx(100.0)
+        assert "weight_only_err" in rows[0]
+        # Second identical run simulates and evaluates nothing.
+        code, _out, err = run_cli(args, capsys)
+        assert code == 0
+        assert "0 simulated" in err and "0 fidelity evaluated" in err
+
+    def test_with_accuracy_unsupported_scheme_is_a_one_line_error(
+        self, tmp_path, capsys, compute_only_scheme
+    ):
+        code, _out, err = run_cli(
+            [
+                "campaign", "run",
+                "--schemes", compute_only_scheme,
+                "--with-accuracy",
+                "--store", str(tmp_path / "store"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+        assert "accuracy" in err
+        # Nothing was simulated or stored before the failure.
+        assert not (tmp_path / "store" / "records.jsonl").exists()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1_store(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("table1") / "store")
+
+    def test_renders_all_eight_paper_rows(self, table1_store, capsys):
+        code, out, err = run_cli(
+            ["table1", "--store", table1_store, "--format", "json"], capsys
+        )
+        assert code == 0
+        assert "8 Table I fidelity rows" in err
+        rows = json.loads(out)
+        assert len(rows) == 8
+        assert [(r["model"], r["task"]) for r in rows] == [
+            ("bert-base", "mnli"),
+            ("bert-large", "mnli"),
+            ("bert-large", "stsb"),
+            ("bert-large", "squad"),
+            ("roberta-large", "mnli"),
+            ("roberta-large", "stsb"),
+            ("roberta-large", "squad"),
+            ("deberta-xl", "mnli"),
+        ]
+        assert {r["metric"] for r in rows} == {"accuracy", "spearman", "f1"}
+        for row in rows:
+            assert row["fp_score"] >= 99.0
+            assert row["paper_fp_score"] != ""
+
+    def test_joint_view_pairs_fidelity_with_speedup(self, table1_store, capsys):
+        # Rides on the store the previous test populated: nothing re-runs.
+        code, out, err = run_cli(
+            ["table1", "--store", table1_store, "--joint", "--format", "json"], capsys
+        )
+        assert code == 0
+        assert "0 simulated, 0 fidelity evaluated" in err
+        rows = json.loads(out)
+        assert len(rows) == 8
+        for row in rows:
+            assert row["baseline"] == "tensor-cores"
+            assert row["speedup"] > 1.0
+            assert row["energy_efficiency"] > 1.0
+            assert row["scheme"] == "mokey"
+            # Mokey quantizes activations, so the joint view must report
+            # the weight+activation error — small but non-zero.
+            assert 0.0 < row["fidelity_err"] <= 50.0
+            assert row["weight_compression"] > 6.0
+
+    def test_unknown_scheme_is_a_one_line_error(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["table1", "--scheme", "int3", "--store", str(tmp_path)], capsys
+        )
+        assert code == 2
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+def test_table1_unknown_scheme_subprocess_has_no_traceback(tmp_path):
+    """End to end: a bad scheme exits 2 with one stderr line, no traceback."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "table1", "--scheme", "nope"],
+        capture_output=True,
+        text=True,
+        cwd=str(tmp_path),
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 2
+    assert "Traceback" not in proc.stderr
+    assert len(proc.stderr.strip().splitlines()) == 1
+
+
 def test_python_dash_m_entry_point(tmp_path):
     """The module is runnable as `python -m repro` (what CI exercises)."""
     proc = subprocess.run(

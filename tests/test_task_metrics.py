@@ -1,0 +1,135 @@
+"""Property/metamorphic tests for the task-performance metrics.
+
+The accuracy campaigns stand on three metrics from
+:mod:`repro.transformer.tasks`; these hypothesis suites pin the algebraic
+properties the fidelity numbers rely on:
+
+* ``spearman_correlation`` is rank-based: invariant under strictly
+  monotone transforms of the predictions, antisymmetric under strictly
+  decreasing ones;
+* ``accuracy`` and ``span_f1`` are bounded in [0, 100] (percent scale)
+  and equal 100 on identical inputs;
+* all three are invariant under a consistent permutation of the samples.
+
+Prediction values are drawn as integer-valued floats so that monotone
+transforms are exactly tie- and order-preserving in float arithmetic
+(adjacent large floats could otherwise collide after a transform, which
+would legitimately change ranks).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.transformer.tasks import accuracy, span_f1, spearman_correlation
+
+# Bounded so cubes stay far above float64 ulp spacing (1e18 vs ulp ~256).
+_values = st.integers(min_value=-(10 ** 6), max_value=10 ** 6)
+
+
+@st.composite
+def paired_arrays(draw, min_size=2, max_size=40):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    a = draw(st.lists(_values, min_size=n, max_size=n))
+    b = draw(st.lists(_values, min_size=n, max_size=n))
+    return np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+
+
+@st.composite
+def span_arrays(draw, min_size=1, max_size=30):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+
+    def spans():
+        pairs = draw(
+            st.lists(
+                st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return np.asarray([(min(s, e), max(s, e)) for s, e in pairs], dtype=np.int64)
+
+    return spans(), spans()
+
+
+MONOTONE_TRANSFORMS = [
+    ("affine", lambda x: 3.0 * x + 1.5),
+    ("cube", lambda x: x ** 3),
+    ("arctan", np.arctan),
+]
+
+
+class TestSpearmanProperties:
+    @pytest.mark.parametrize("name,transform", MONOTONE_TRANSFORMS)
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays())
+    def test_invariant_under_strictly_monotone_transform(self, name, transform, data):
+        predictions, targets = data
+        assume(np.unique(predictions).size > 1)
+        assume(np.unique(targets).size > 1)
+        base = spearman_correlation(predictions, targets)
+        transformed = spearman_correlation(transform(predictions), targets)
+        assert transformed == pytest.approx(base, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays())
+    def test_antisymmetric_under_strictly_decreasing_transform(self, data):
+        predictions, targets = data
+        assume(np.unique(predictions).size > 1)
+        assume(np.unique(targets).size > 1)
+        base = spearman_correlation(predictions, targets)
+        assert spearman_correlation(-predictions, targets) == pytest.approx(-base, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays(), seed=st.integers(0, 2 ** 32 - 1))
+    def test_invariant_under_consistent_permutation(self, data, seed):
+        predictions, targets = data
+        permutation = np.random.default_rng(seed).permutation(predictions.size)
+        base = spearman_correlation(predictions, targets)
+        permuted = spearman_correlation(predictions[permutation], targets[permutation])
+        assert permuted == pytest.approx(base, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays())
+    def test_bounded_and_perfect_on_self(self, data):
+        predictions, targets = data
+        assert -100.0 - 1e-9 <= spearman_correlation(predictions, targets) <= 100.0 + 1e-9
+        assert spearman_correlation(predictions, predictions) == pytest.approx(100.0)
+
+
+class TestAccuracyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays(min_size=1))
+    def test_bounded_and_perfect_on_identical(self, data):
+        predictions, labels = data
+        score = accuracy(predictions, labels)
+        assert 0.0 <= score <= 100.0
+        assert accuracy(predictions, predictions) == 100.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=paired_arrays(min_size=1), seed=st.integers(0, 2 ** 32 - 1))
+    def test_invariant_under_consistent_permutation(self, data, seed):
+        predictions, labels = data
+        permutation = np.random.default_rng(seed).permutation(predictions.size)
+        assert accuracy(predictions[permutation], labels[permutation]) == pytest.approx(
+            accuracy(predictions, labels)
+        )
+
+
+class TestSpanF1Properties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=span_arrays())
+    def test_bounded_and_perfect_on_identical(self, data):
+        predicted, reference = data
+        score = span_f1(predicted, reference)
+        assert 0.0 <= score <= 100.0 + 1e-9
+        assert span_f1(predicted, predicted) == pytest.approx(100.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=span_arrays(), seed=st.integers(0, 2 ** 32 - 1))
+    def test_invariant_under_consistent_permutation(self, data, seed):
+        predicted, reference = data
+        permutation = np.random.default_rng(seed).permutation(predicted.shape[0])
+        assert span_f1(predicted[permutation], reference[permutation]) == pytest.approx(
+            span_f1(predicted, reference), abs=1e-9
+        )
