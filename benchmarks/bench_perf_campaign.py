@@ -1,0 +1,67 @@
+"""Perf benchmark of campaign throughput (scenarios simulated per second).
+
+Writes the ``campaign_throughput`` section of ``BENCH_PERF.json``: how
+fast ``run_campaign`` chews through a fresh (uncached) scenario grid with
+the serial executor, and how fast a fully-cached re-run resolves.  The
+analytic simulator is the hot path of every figure benchmark and of the
+``repro`` CLI, so a regression here shows up everywhere.
+"""
+
+import time
+
+from conftest import PAPER_WORKLOAD_SPECS, TINY_MODE, record_perf
+
+from repro.experiments import ResultCache, expand_grid, run_campaign
+
+KB = 1024
+
+if TINY_MODE:
+    GRID_KWARGS = dict(
+        workloads=PAPER_WORKLOAD_SPECS[:2],
+        designs=("mokey", "tensor-cores"),
+        buffer_bytes=(256 * KB, 512 * KB),
+    )
+else:
+    GRID_KWARGS = dict(
+        workloads=PAPER_WORKLOAD_SPECS,
+        designs=("mokey", "gobo", "tensor-cores"),
+        buffer_bytes=(256 * KB, 512 * KB, 1024 * KB, 2048 * KB),
+    )
+
+
+def test_perf_campaign_throughput():
+    scenarios = expand_grid(**GRID_KWARGS)
+    cache = ResultCache()
+
+    started = time.perf_counter()
+    campaign = run_campaign(scenarios, cache=cache, executor="serial")
+    fresh_seconds = time.perf_counter() - started
+    assert campaign.simulated_count == len(scenarios)
+
+    started = time.perf_counter()
+    cached = run_campaign(scenarios, cache=cache, executor="serial")
+    cached_seconds = time.perf_counter() - started
+    assert cached.simulated_count == 0
+
+    fresh_rate = len(scenarios) / fresh_seconds
+    cached_rate = len(scenarios) / max(cached_seconds, 1e-9)
+    print(
+        f"\ncampaign throughput: {len(scenarios)} scenarios, "
+        f"fresh {fresh_seconds:.2f}s ({fresh_rate:.0f}/s), "
+        f"cached {cached_seconds * 1e3:.1f} ms ({cached_rate:.0f}/s)"
+    )
+    record_perf(
+        "campaign_throughput",
+        {
+            "scenarios": len(scenarios),
+            "fresh_seconds": fresh_seconds,
+            "fresh_scenarios_per_second": fresh_rate,
+            "cached_seconds": cached_seconds,
+            "cached_scenarios_per_second": cached_rate,
+        },
+    )
+    # Coarse sanity floors: the analytic simulator is ~ms per scenario and
+    # cache hits are micro-seconds; anything slower than these is a real
+    # structural regression, not machine noise.
+    assert fresh_rate > 5.0
+    assert cached_rate > 100.0

@@ -15,8 +15,11 @@ and EXPERIMENTS.md); the shapes are.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -48,6 +51,41 @@ TINY_MODE = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 # The paper's Table I (model, task, sequence length) pairs as campaign
 # workload specs.
 PAPER_WORKLOAD_SPECS = tuple((m, t, s) for (m, t, s, _head) in PAPER_MODELS)
+
+# Where the perf trajectory lands.  The ``bench_perf_*.py`` benchmarks
+# merge their measurements into this JSON so simulator/engine throughput
+# is visible (and comparable) PR-over-PR; override with REPRO_BENCH_PERF.
+# Tiny-mode runs land in a sibling file so a smoke run never overwrites
+# the committed full-shape measurements.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_PERF_NAME = "BENCH_PERF.tiny.json" if TINY_MODE else "BENCH_PERF.json"
+BENCH_PERF_PATH = Path(os.environ.get("REPRO_BENCH_PERF", REPO_ROOT / _DEFAULT_PERF_NAME))
+
+
+def record_perf(section: str, payload: dict) -> None:
+    """Merge one benchmark section into ``BENCH_PERF.json``.
+
+    Each ``bench_perf_*`` test owns one section; the file accumulates the
+    sections of a run plus an environment stamp, so successive runs (and
+    successive PRs) can be diffed for regressions.  Tiny-mode runs are
+    stamped as such and should not overwrite a committed full run.
+    """
+    data: dict = {}
+    if BENCH_PERF_PATH.exists():
+        try:
+            data = json.loads(BENCH_PERF_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            data = {}
+    data["environment"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "tiny_mode": TINY_MODE,
+    }
+    data[section] = payload
+    BENCH_PERF_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -26,7 +26,7 @@ Each stage can be replaced independently when constructing an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.accelerator.dataflow import LayerTraffic, activation_working_set_bits, plan_layer
 from repro.accelerator.designs import AcceleratorDesign
@@ -35,6 +35,9 @@ from repro.accelerator.workloads import Workload
 from repro.memory.dram import DramModel
 from repro.memory.sram import SramBuffer
 from repro.schemes.base import ComputePhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.index_compute import IndexComputeStats
 
 __all__ = [
     "AcceleratorSimulator",
@@ -230,6 +233,7 @@ class AcceleratorSimulator:
         workload: Workload,
         buffer_bytes: int,
         activation_buffer_fraction: float = 0.5,
+        measured_stats: Optional["IndexComputeStats"] = None,
     ) -> SimulationResult:
         """Simulate a full inference pass of ``workload``.
 
@@ -238,6 +242,13 @@ class AcceleratorSimulator:
             buffer_bytes: On-chip buffer capacity in bytes.
             activation_buffer_fraction: Buffer fraction reserved for
                 activations by the dataflow.
+            measured_stats: Optional per-layer operation counts measured
+                by the index-domain engine
+                (:mod:`repro.transformer.index_execution`).  When given,
+                ``measured_*`` entries land in the result detail next to
+                the scheme's analytic counts, so reports can compare the
+                assumed and the measured operation mix.  The analytic
+                cycle/energy model itself is unchanged.
         """
         design = self.design
         buffer = SramBuffer(buffer_bytes, design.buffer_interface_bits)
@@ -269,6 +280,17 @@ class AcceleratorSimulator:
                 "overlap_efficiency": overlap,
             }
         )
+        if measured_stats is not None:
+            detail.update(
+                {
+                    "measured_gaussian_pairs": float(measured_stats.gaussian_pairs),
+                    "measured_outlier_pairs": float(measured_stats.outlier_pairs),
+                    "measured_outlier_pair_fraction": measured_stats.outlier_pair_fraction,
+                    "measured_post_processing_macs": float(
+                        measured_stats.post_processing_macs
+                    ),
+                }
+            )
 
         return SimulationResult(
             design_name=design.name,

@@ -7,6 +7,7 @@ so repeated runs only simulate new grid points::
     repro campaign run --models bert-base bert-large --designs mokey \\
         --buffer-kb 256 512 --executor process
     repro campaign run --paper-workloads --with-accuracy
+    repro campaign run --models bert-base --with-measured-stats
     repro campaign report --design mokey --format csv
     repro campaign list
     repro campaign clean --yes
@@ -198,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
         "to each record (one quantization serves every seq/batch/buffer point)",
     )
     run.add_argument(
+        "--with-measured-stats",
+        action="store_true",
+        help="also execute one encoder layer per (model, seq, batch) through the "
+        "vectorized index-domain engine and join the measured Gaussian/outlier "
+        "operation counts to each record, next to the analytic ones",
+    )
+    run.add_argument(
         "--no-store", action="store_true", help="do not read or write the artifact store"
     )
     _add_store_argument(run)
@@ -326,6 +334,7 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             executor=args.executor,
             chunksize=args.chunksize,
             with_accuracy=args.with_accuracy,
+            with_measured=args.with_measured_stats,
         )
     except UnsupportedSchemeError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -336,6 +345,11 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         f"{len(campaign) - campaign.simulated_count} cache hits "
         f"({cache.store_hits} from store)"
         + (f", {campaign.fidelity_evaluated} fidelity evaluated" if args.with_accuracy else "")
+        + (
+            f", {campaign.measured_evaluated} layers measured"
+            if args.with_measured_stats
+            else ""
+        )
         + f" in {elapsed:.2f}s [executor={args.executor}"
         + ("]" if store is None else f", store={store.root}]")
     )
@@ -393,8 +407,14 @@ def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
 def _stored_records(args: argparse.Namespace) -> List[ScenarioRecord]:
     store = ArtifactStore(args.store or _default_store())
     return [
-        ScenarioRecord(scenario=scenario, result=result, cached=True, fidelity=fidelity)
-        for scenario, result, fidelity in store.records()
+        ScenarioRecord(
+            scenario=entry.scenario,
+            result=entry.result,
+            cached=True,
+            fidelity=entry.fidelity,
+            measured=entry.measured,
+        )
+        for entry in store.records()
     ]
 
 
@@ -434,13 +454,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  ({store.skipped} unreadable/old-schema lines skipped)")
     counts: dict = {}
     with_fidelity = 0
-    for scenario, _result, fidelity in records:
-        key = (scenario.model, scenario.design)
+    with_measured = 0
+    for entry in records:
+        key = (entry.scenario.model, entry.scenario.design)
         counts[key] = counts.get(key, 0) + 1
-        if fidelity is not None:
+        if entry.fidelity is not None:
             with_fidelity += 1
+        if entry.measured is not None:
+            with_measured += 1
     if with_fidelity:
         print(f"  ({with_fidelity} records carry fidelity results)")
+    if with_measured:
+        print(f"  ({with_measured} records carry measured index-domain stats)")
     for (model, design), count in sorted(counts.items()):
         print(f"  {model} on {design}: {count}")
     return 0

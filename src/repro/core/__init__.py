@@ -28,7 +28,13 @@ from repro.core.exponential_fit import ExponentialFit, fit_exponential
 from repro.core.fixed_point import FixedPointFormat, to_fixed_point
 from repro.core.tensor_dictionary import TensorDictionary
 from repro.core.quantizer import MokeyQuantizer, QuantizedTensor
-from repro.core.index_compute import IndexDomainEngine, index_domain_dot, index_domain_matmul
+from repro.core.index_compute import (
+    IndexDomainEngine,
+    VectorizedIndexDomainEngine,
+    index_domain_dot,
+    index_domain_matmul,
+    vectorized_index_domain_matmul,
+)
 from repro.core.activation_quantizer import OutputActivationQuantizer
 from repro.core.model_quantizer import MokeyModelQuantizer, QuantizationMode
 
@@ -45,8 +51,10 @@ __all__ = [
     "MokeyQuantizer",
     "QuantizedTensor",
     "IndexDomainEngine",
+    "VectorizedIndexDomainEngine",
     "index_domain_dot",
     "index_domain_matmul",
+    "vectorized_index_domain_matmul",
     "OutputActivationQuantizer",
     "MokeyModelQuantizer",
     "QuantizationMode",

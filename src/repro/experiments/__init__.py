@@ -24,7 +24,14 @@ share one sweep loop instead of each re-implementing it:
   joint claim: ``run_campaign(..., with_accuracy=True)`` joins a
   :class:`~repro.experiments.accuracy.FidelityResult` (task fidelity to
   the FP model, outlier fractions, compression) to every record, memoised
-  per ``(model, task, scheme)`` and persisted through the store.
+  per ``(model, task, scheme)`` and persisted through the store;
+* :mod:`repro.experiments.measured` — measured index-domain operation
+  counts: ``run_campaign(..., with_measured=True)`` executes one encoder
+  layer of each workload through the vectorized index-domain engine and
+  joins a :class:`~repro.experiments.measured.MeasuredStats` (real
+  Gaussian/outlier pair counts, next to the schemes' analytic ones) to
+  every record, memoised per ``(model, seq, batch)`` and persisted
+  through the store.
 
 The ``repro`` CLI (``python -m repro campaign ...``) drives this package
 from the command line.
@@ -65,6 +72,14 @@ from repro.experiments.accuracy import (
     supported_accuracy_schemes,
     supports_accuracy,
 )
+from repro.experiments.measured import (
+    DEFAULT_MEASUREMENT_SETTINGS,
+    MeasuredStats,
+    MeasurementSettings,
+    evaluate_measured,
+    measured_digest,
+    measured_key,
+)
 from repro.experiments.scenario import (
     DESIGN_FACTORIES,
     Scenario,
@@ -81,10 +96,16 @@ from repro.experiments.campaign import (
     run_campaign,
     run_scenario,
 )
-from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, scenario_key
+from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, StoreEntry, scenario_key
 
 __all__ = [
     "DEFAULT_ACCURACY_SETTINGS",
+    "DEFAULT_MEASUREMENT_SETTINGS",
+    "MeasuredStats",
+    "MeasurementSettings",
+    "evaluate_measured",
+    "measured_digest",
+    "measured_key",
     "AccuracySettings",
     "FidelityResult",
     "UnsupportedSchemeError",
@@ -109,5 +130,6 @@ __all__ = [
     "run_scenario",
     "SCHEMA_VERSION",
     "ArtifactStore",
+    "StoreEntry",
     "scenario_key",
 ]

@@ -34,11 +34,20 @@ from repro.experiments.accuracy import (
     supported_accuracy_schemes,
     supports_accuracy,
 )
+from repro.experiments.measured import (
+    DEFAULT_MEASUREMENT_SETTINGS,
+    MeasuredKey,
+    MeasuredStats,
+    MeasurementSettings,
+    evaluate_measured,
+    measured_key,
+)
 from repro.experiments.scenario import KB, Scenario
 from repro.transformer.model_zoo import MODEL_CONFIGS
 from repro.transformer.tasks import task_family
 
 _DEFAULT_SETTINGS_DIGEST = DEFAULT_ACCURACY_SETTINGS.digest()
+_DEFAULT_MEASUREMENT_DIGEST = DEFAULT_MEASUREMENT_SETTINGS.digest()
 
 __all__ = [
     "EXECUTORS",
@@ -71,6 +80,10 @@ class ResultCache:
         # one quantization + evaluation serves every seq/batch/design/buffer
         # point of a grid, but never a run under different settings.
         self._fidelity: Dict[Tuple[AccuracyKey, str], FidelityResult] = {}
+        # Measured-stats memo, keyed by (model, seq, batch) + settings
+        # digest: one layer execution serves every design/scheme/buffer
+        # point of a grid.
+        self._measured: Dict[Tuple[MeasuredKey, str], MeasuredStats] = {}
         self._lock = threading.Lock()
         self._store = store
         self.hits = 0
@@ -79,6 +92,9 @@ class ResultCache:
         self.fidelity_hits = 0
         self.fidelity_misses = 0
         self.fidelity_store_hits = 0
+        self.measured_hits = 0
+        self.measured_misses = 0
+        self.measured_store_hits = 0
 
     @property
     def backing_store(self) -> Optional[Any]:
@@ -117,16 +133,22 @@ class ResultCache:
         scenario: Scenario,
         result: SimulationResult,
         fidelity: Optional[FidelityResult] = None,
+        measured: Optional[MeasuredStats] = None,
     ) -> None:
         memo_key = (
             None if fidelity is None else (accuracy_key(scenario), fidelity.settings_digest)
+        )
+        measured_memo_key = (
+            None if measured is None else (measured_key(scenario), measured.settings_digest)
         )
         with self._lock:
             self._results[scenario] = result
             if memo_key is not None:
                 self._fidelity[memo_key] = fidelity
+            if measured_memo_key is not None:
+                self._measured[measured_memo_key] = measured
         if self._store is not None:
-            self._store.put(scenario, result, fidelity=fidelity)
+            self._store.put(scenario, result, fidelity=fidelity, measured=measured)
 
     def lookup_fidelity(
         self,
@@ -163,26 +185,55 @@ class ResultCache:
             self.fidelity_misses += 1
         return None
 
-    def store_fidelity(
-        self, scenario: Scenario, result: SimulationResult, fidelity: FidelityResult
-    ) -> None:
-        """Memoise ``fidelity`` and upgrade the scenario's store record."""
+    def lookup_measured(
+        self,
+        scenario: Scenario,
+        key: Optional[MeasuredKey] = None,
+        settings_digest: Optional[str] = None,
+    ) -> Optional[MeasuredStats]:
+        """The cached measured stats for ``scenario``, counting hit or miss.
+
+        Resolution order mirrors :meth:`lookup_fidelity`: the in-memory
+        memo by :func:`~repro.experiments.measured.measured_key`, then the
+        backing store by scenario; a result only hits when its settings
+        digest matches.
+        """
+        key = measured_key(scenario) if key is None else key
+        if settings_digest is None:
+            settings_digest = _DEFAULT_MEASUREMENT_DIGEST
+        memo_key = (key, settings_digest)
         with self._lock:
-            self._fidelity[(accuracy_key(scenario), fidelity.settings_digest)] = fidelity
+            measured = self._measured.get(memo_key)
+            if measured is not None:
+                self.measured_hits += 1
+                return measured
         if self._store is not None:
-            self._store.put(scenario, result, fidelity=fidelity)
+            measured = self._store.get_measured(scenario)
+            if measured is not None and measured.settings_digest == settings_digest:
+                with self._lock:
+                    self._measured[memo_key] = measured
+                    self.measured_hits += 1
+                    self.measured_store_hits += 1
+                return measured
+        with self._lock:
+            self.measured_misses += 1
+        return None
 
     def clear(self) -> None:
         """Reset the in-memory cache and counters (not the backing store)."""
         with self._lock:
             self._results.clear()
             self._fidelity.clear()
+            self._measured.clear()
             self.hits = 0
             self.misses = 0
             self.store_hits = 0
             self.fidelity_hits = 0
             self.fidelity_misses = 0
             self.fidelity_store_hits = 0
+            self.measured_hits = 0
+            self.measured_misses = 0
+            self.measured_store_hits = 0
 
 
 @dataclass
@@ -195,12 +246,15 @@ class ScenarioRecord:
         cached: Whether the result came from the cache without simulating.
         fidelity: Task-fidelity outcome joined by an accuracy campaign
             (``None`` for hardware-only runs).
+        measured: Measured index-domain operation counts joined by a
+            ``with_measured`` campaign (``None`` otherwise).
     """
 
     scenario: Scenario
     result: SimulationResult
     cached: bool = False
     fidelity: Optional[FidelityResult] = None
+    measured: Optional[MeasuredStats] = None
 
     @property
     def workload_name(self) -> str:
@@ -220,26 +274,42 @@ class ScenarioRecord:
             "result": self.result.to_dict(),
             "cached": bool(self.cached),
             "fidelity": None if self.fidelity is None else self.fidelity.to_dict(),
+            "measured": None if self.measured is None else self.measured.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioRecord":
         """Rebuild a record from :meth:`to_dict` output, ignoring unknown keys."""
         raw_fidelity = data.get("fidelity")
+        raw_measured = data.get("measured")
         return cls(
             scenario=Scenario.from_dict(data.get("scenario") or {}),
             result=SimulationResult.from_dict(data.get("result") or {}),
             cached=bool(data.get("cached", False)),
             fidelity=None if raw_fidelity is None else FidelityResult.from_dict(raw_fidelity),
+            measured=None if raw_measured is None else MeasuredStats.from_dict(raw_measured),
         )
 
     def to_row(self) -> Dict[str, object]:
         """Flatten scenario + headline metrics for tabular reporting.
 
-        Fidelity columns are appended only when the record carries an
-        accuracy result, so hardware-only reports keep their column set.
+        Fidelity and measured-stats columns are appended only when the
+        record carries them, so hardware-only reports keep their column
+        set.  The ``measured_*`` columns sit next to the analytic
+        ``gaussian_pairs`` / ``outlier_pairs`` the scheme's compute detail
+        reports (both are per encoder layer).
         """
         row = self._hardware_row()
+        if self.measured is not None:
+            m = self.measured
+            row.update(
+                {
+                    "measured_gaussian_pairs": m.gaussian_pairs,
+                    "measured_outlier_pairs": m.outlier_pairs,
+                    "measured_outlier_pct": 100.0 * m.outlier_pair_fraction,
+                    "measured_output_rms_err": m.output_rms_error,
+                }
+            )
         if self.fidelity is not None:
             f = self.fidelity
             row.update(
@@ -294,12 +364,15 @@ class CampaignResult:
         records: Sequence[ScenarioRecord],
         cache: ResultCache,
         fidelity_evaluated: int = 0,
+        measured_evaluated: int = 0,
     ) -> None:
         self.records = list(records)
         self.cache = cache
         #: How many fidelity evaluations this campaign actually ran (the
         #: rest were memo/store hits or scenarios sharing an accuracy key).
         self.fidelity_evaluated = fidelity_evaluated
+        #: How many measured-layer executions this campaign actually ran.
+        self.measured_evaluated = measured_evaluated
 
     def __iter__(self):
         return iter(self.records)
@@ -437,6 +510,14 @@ def _evaluate_accuracy_key(
     return evaluate_fidelity(model, task, scheme, settings=settings)
 
 
+def _evaluate_measured_key(
+    key: MeasuredKey, settings: Optional[MeasurementSettings] = None
+) -> MeasuredStats:
+    """Measure one layer-execution memo key (module-level, so it pickles)."""
+    model, sequence_length, batch_size = key
+    return evaluate_measured(model, sequence_length, batch_size, settings=settings)
+
+
 def _evaluate_pending_fidelity(
     pending: Sequence[AccuracyKey],
     executor: str,
@@ -485,6 +566,39 @@ def _validate_accuracy_support(scenarios: Sequence[Scenario]) -> None:
         )
 
 
+def _resolve_join(
+    scenarios: Sequence[Scenario],
+    key_of: Callable[[Scenario], Any],
+    lookup: Callable[[Scenario, Any], Optional[Any]],
+    evaluate_pending: Callable[[List[Any]], List[Any]],
+) -> Tuple[Dict[Scenario, Any], int]:
+    """Resolve one joined quantity for every scenario, each unique key once.
+
+    The shared skeleton of the fidelity and measured-stats joins: collect
+    the unique memo keys, serve what the cache/store already holds, hand
+    the rest to ``evaluate_pending`` in one batch, and fan the outcomes
+    back out per scenario.  Returns the per-scenario mapping plus how many
+    keys were actually evaluated.
+    """
+    keys: Dict[Scenario, Any] = {}
+    for scenario in scenarios:
+        if scenario not in keys:
+            keys[scenario] = key_of(scenario)
+    resolved: Dict[Any, Any] = {}
+    pending: List[Any] = []
+    for scenario, key in keys.items():
+        if key in resolved or key in pending:
+            continue
+        hit = lookup(scenario, key)
+        if hit is not None:
+            resolved[key] = hit
+        else:
+            pending.append(key)
+    if pending:
+        resolved.update(zip(pending, evaluate_pending(pending)))
+    return {scenario: resolved[key] for scenario, key in keys.items()}, len(pending)
+
+
 def _resolve_fidelities(
     scenarios: Sequence[Scenario],
     cache: ResultCache,
@@ -494,29 +608,48 @@ def _resolve_fidelities(
 ) -> Tuple[Dict[Scenario, FidelityResult], int]:
     """Fidelity for every scenario, evaluating each unique accuracy key once.
 
-    Returns the per-scenario mapping plus how many keys were actually
-    evaluated (as opposed to served by the cache or the backing store).
     Assumes scheme support was validated by :func:`_validate_accuracy_support`.
     """
     settings_digest = (settings or DEFAULT_ACCURACY_SETTINGS).digest()
-    keys: Dict[Scenario, AccuracyKey] = {}
-    for scenario in scenarios:
-        if scenario not in keys:
-            keys[scenario] = accuracy_key(scenario)
-    resolved: Dict[AccuracyKey, FidelityResult] = {}
-    pending: List[AccuracyKey] = []
-    for scenario, key in keys.items():
-        if key in resolved or key in pending:
-            continue
-        hit = cache.lookup_fidelity(scenario, key=key, settings_digest=settings_digest)
-        if hit is not None:
-            resolved[key] = hit
-        else:
-            pending.append(key)
-    if pending:
-        outcomes = _evaluate_pending_fidelity(pending, executor, max_workers, settings)
-        resolved.update(zip(pending, outcomes))
-    return {scenario: resolved[key] for scenario, key in keys.items()}, len(pending)
+    return _resolve_join(
+        scenarios,
+        key_of=accuracy_key,
+        lookup=lambda scenario, key: cache.lookup_fidelity(
+            scenario, key=key, settings_digest=settings_digest
+        ),
+        evaluate_pending=lambda pending: _evaluate_pending_fidelity(
+            pending, executor, max_workers, settings
+        ),
+    )
+
+
+def _resolve_measured(
+    scenarios: Sequence[Scenario],
+    cache: ResultCache,
+    executor: str,
+    max_workers: Optional[int],
+    settings: Optional[MeasurementSettings],
+) -> Tuple[Dict[Scenario, MeasuredStats], int]:
+    """Measured stats for every scenario, one layer execution per unique key."""
+    settings_digest = (settings or DEFAULT_MEASUREMENT_SETTINGS).digest()
+
+    def evaluate_pending(pending: List[MeasuredKey]) -> List[MeasuredStats]:
+        # Layer execution is NumPy/BLAS-heavy; only real processes help,
+        # and only when more than one key needs measuring.
+        task = functools.partial(_evaluate_measured_key, settings=settings)
+        if executor == "process" and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(task, pending))
+        return [task(key) for key in pending]
+
+    return _resolve_join(
+        scenarios,
+        key_of=measured_key,
+        lookup=lambda scenario, key: cache.lookup_measured(
+            scenario, key=key, settings_digest=settings_digest
+        ),
+        evaluate_pending=evaluate_pending,
+    )
 
 
 def run_campaign(
@@ -528,6 +661,8 @@ def run_campaign(
     chunksize: Optional[int] = None,
     with_accuracy: bool = False,
     accuracy_settings: Optional[AccuracySettings] = None,
+    with_measured: bool = False,
+    measurement_settings: Optional[MeasurementSettings] = None,
 ) -> CampaignResult:
     """Simulate every scenario, fanning out across the chosen executor.
 
@@ -567,6 +702,17 @@ def run_campaign(
             (functional-twin scale, sample counts, Golden-Dictionary
             build); defaults to
             :data:`~repro.experiments.accuracy.DEFAULT_ACCURACY_SETTINGS`.
+        with_measured: Also execute one encoder layer of each workload
+            through the vectorized index-domain engine (see
+            :mod:`repro.experiments.measured`) and join a
+            :class:`~repro.experiments.measured.MeasuredStats` to every
+            record.  Measurements are memoised per ``(model, seq,
+            batch)`` — one layer execution serves every design/scheme/
+            buffer point — and persist through the backing store
+            alongside the hardware result.
+        measurement_settings: Parameters of the measured-layer execution;
+            defaults to
+            :data:`~repro.experiments.measured.DEFAULT_MEASUREMENT_SETTINGS`.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r} (choose from {', '.join(EXECUTORS)})")
@@ -601,23 +747,42 @@ def run_campaign(
 
     fidelities: Dict[Scenario, FidelityResult] = {}
     fidelity_evaluated = 0
+    measured: Dict[Scenario, MeasuredStats] = {}
+    measured_evaluated = 0
     try:
         if with_accuracy:
             fidelities, fidelity_evaluated = _resolve_fidelities(
                 list(resolved), cache, executor, max_workers, accuracy_settings
             )
+        if with_measured:
+            measured, measured_evaluated = _resolve_measured(
+                list(resolved), cache, executor, max_workers, measurement_settings
+            )
     finally:
-        # Persist even if fidelity resolution raises: freshly simulated
-        # hardware results are never thrown away.  On success each pending
-        # scenario lands with its fidelity in one record; store-hit
-        # scenarios that predate the accuracy campaign get their record
+        # Persist even if fidelity/measured resolution raises: freshly
+        # simulated hardware results are never thrown away.  On success
+        # each pending scenario lands with its joins in one record;
+        # store-hit scenarios that predate a join get their record
         # upgraded in place.
         for scenario in pending:
-            cache.store(scenario, resolved[scenario], fidelity=fidelities.get(scenario))
-    if with_accuracy:
-        for scenario, was_cached in cached_flags.items():
-            if was_cached:
-                cache.store_fidelity(scenario, resolved[scenario], fidelities[scenario])
+            cache.store(
+                scenario,
+                resolved[scenario],
+                fidelity=fidelities.get(scenario),
+                measured=measured.get(scenario),
+            )
+    for scenario, was_cached in cached_flags.items():
+        if not was_cached:
+            continue
+        if with_accuracy or with_measured:
+            # One store call carrying every join: a joint campaign appends
+            # a single upgrade line per record, not one per join.
+            cache.store(
+                scenario,
+                resolved[scenario],
+                fidelity=fidelities.get(scenario),
+                measured=measured.get(scenario),
+            )
 
     records = []
     seen: set = set()
@@ -630,7 +795,13 @@ def run_campaign(
                 result=resolved[s],
                 cached=cached_flags[s] or s in seen,
                 fidelity=fidelities.get(s),
+                measured=measured.get(s),
             )
         )
         seen.add(s)
-    return CampaignResult(records, cache, fidelity_evaluated=fidelity_evaluated)
+    return CampaignResult(
+        records,
+        cache,
+        fidelity_evaluated=fidelity_evaluated,
+        measured_evaluated=measured_evaluated,
+    )

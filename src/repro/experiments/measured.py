@@ -1,0 +1,242 @@
+"""Measured index-domain statistics for campaign records.
+
+The schemes' analytic cost models count operations from GEMM shapes plus
+*assumed* outlier-pair fractions (``gaussian_pairs`` / ``outlier_pairs``
+in the Mokey scheme's compute detail).  This module produces the
+*measured* counterpart by actually running one encoder layer of the
+scenario's workload through the vectorized index-domain engine
+(:mod:`repro.transformer.index_execution`) and counting every Gaussian
+and outlier operand pair in the real encodings.
+
+Measured statistics depend only on ``(model, sequence_length,
+batch_size)`` — not on the design point, scheme override or buffer
+capacity — so one layer execution (memoised per :func:`measured_key` in
+the campaign's :class:`~repro.experiments.campaign.ResultCache`, and
+persisted through the artifact store) serves every hardware point of a
+grid.  Everything is derived from a stable hash of the key, so any
+process produces a bit-identical :class:`MeasuredStats`; wall-clock
+timings live in the perf benchmarks (``BENCH_PERF.json``), never in
+stored records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+
+from repro.experiments.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.quantizer import MokeyQuantizer
+
+__all__ = [
+    "MeasurementSettings",
+    "DEFAULT_MEASUREMENT_SETTINGS",
+    "MeasuredKey",
+    "MeasuredStats",
+    "measured_key",
+    "evaluate_measured",
+    "measured_digest",
+]
+
+
+@dataclass(frozen=True)
+class MeasurementSettings:
+    """Deterministic parameters of one measured-layer execution.
+
+    All fields feed the execution deterministically: identical settings +
+    key always produce a bit-identical :class:`MeasuredStats`.
+
+    Attributes:
+        golden_samples: Samples for the Golden Dictionary build (reduced
+            but structurally identical, matching the accuracy campaign's
+            default build).
+        golden_repeats: Repeats for the Golden Dictionary build.
+        golden_seed: Seed for the Golden Dictionary build.
+    """
+
+    golden_samples: int = 12000
+    golden_repeats: int = 2
+    golden_seed: int = 7
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def digest(self) -> str:
+        """Stable content digest, stamped into every :class:`MeasuredStats`."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+DEFAULT_MEASUREMENT_SETTINGS = MeasurementSettings()
+
+#: The memo key of one measurement: ``(model, sequence_length, batch_size)``.
+MeasuredKey = Tuple[str, int, int]
+
+
+def measured_key(scenario: Scenario) -> MeasuredKey:
+    """The measurement memo key of ``scenario``.
+
+    Deliberately excludes the design point, scheme override and buffer
+    capacity: the index-domain operation mix is a property of the workload
+    alone, so one layer execution serves every hardware point of a grid.
+    """
+    return (scenario.model, scenario.resolved_sequence_length, scenario.batch_size)
+
+
+def _stable_seed(model: str, sequence_length: int, batch_size: int) -> int:
+    """A process- and hash-seed-independent seed for one measured key."""
+    blob = f"{model}|{sequence_length}|{batch_size}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+@dataclass
+class MeasuredStats:
+    """Measured index-domain operation counts of one encoder layer.
+
+    The count fields mirror
+    :class:`~repro.core.index_compute.IndexComputeStats`, summed over
+    every GEMM instance of one encoder layer (the analytic compute detail
+    is per layer too, so the two are directly comparable).
+
+    Attributes:
+        model: Model-zoo name measured.
+        sequence_length: Tokens per input.
+        batch_size: Inputs per pass.
+        gaussian_pairs: Operand pairs handled by the GPE index path.
+        outlier_pairs: Operand pairs handled by the OPP's direct MACs.
+        index_additions: Narrow index additions performed.
+        counter_updates: CRF counter updates performed.
+        post_processing_macs: Post-processing MACs (per-bin reductions
+            plus one MAC per outlier pair).
+        gemm_instances: GEMM instances executed (heads x batch for the
+            attention score/context GEMMs).
+        output_rms_error: Relative RMS error of the index-domain layer
+            output against the FP forward of the same block.
+        seed: Seed the block and inputs were built from.
+        settings_digest: :meth:`MeasurementSettings.digest` of the
+            settings that produced the result; lookups only reuse a
+            result whose digest matches.
+    """
+
+    model: str = ""
+    sequence_length: int = 0
+    batch_size: int = 0
+    gaussian_pairs: int = 0
+    outlier_pairs: int = 0
+    index_additions: int = 0
+    counter_updates: int = 0
+    post_processing_macs: int = 0
+    gemm_instances: int = 0
+    output_rms_error: float = 0.0
+    seed: int = 0
+    settings_digest: str = ""
+
+    @property
+    def total_pairs(self) -> int:
+        """Operand pairs processed (equals the layer's MAC count)."""
+        return self.gaussian_pairs + self.outlier_pairs
+
+    @property
+    def outlier_pair_fraction(self) -> float:
+        total = self.total_pairs
+        return self.outlier_pairs / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready field mapping; inverse of :meth:`from_dict`."""
+        return {
+            "model": self.model,
+            "sequence_length": int(self.sequence_length),
+            "batch_size": int(self.batch_size),
+            "gaussian_pairs": int(self.gaussian_pairs),
+            "outlier_pairs": int(self.outlier_pairs),
+            "index_additions": int(self.index_additions),
+            "counter_updates": int(self.counter_updates),
+            "post_processing_macs": int(self.post_processing_macs),
+            "gemm_instances": int(self.gemm_instances),
+            "output_rms_error": float(self.output_rms_error),
+            "seed": int(self.seed),
+            "settings_digest": self.settings_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MeasuredStats":
+        """Rebuild from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
+
+
+def measured_digest(result: MeasuredStats) -> str:
+    """Stable content digest of the full measured result (all fields)."""
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+_QUANTIZER_LOCK = threading.Lock()
+_QUANTIZER_CACHE: Dict[Tuple[int, int, int], "MokeyQuantizer"] = {}
+
+
+def _measurement_quantizer(settings: MeasurementSettings) -> "MokeyQuantizer":
+    """One shared quantizer per Golden-Dictionary parameterisation."""
+    from repro.core.golden_dictionary import generate_golden_dictionary
+    from repro.core.quantizer import MokeyQuantizer
+
+    key = (settings.golden_samples, settings.golden_repeats, settings.golden_seed)
+    with _QUANTIZER_LOCK:
+        quantizer = _QUANTIZER_CACHE.get(key)
+        if quantizer is None:
+            golden = generate_golden_dictionary(
+                num_samples=settings.golden_samples,
+                num_repeats=settings.golden_repeats,
+                seed=settings.golden_seed,
+            )
+            quantizer = MokeyQuantizer(golden)
+            _QUANTIZER_CACHE[key] = quantizer
+        return quantizer
+
+
+def evaluate_measured(
+    model: str,
+    sequence_length: int,
+    batch_size: int = 1,
+    settings: Optional[MeasurementSettings] = None,
+) -> MeasuredStats:
+    """Measure the index-domain operation mix of one encoder layer.
+
+    Runs :func:`repro.transformer.index_execution.execute_encoder_layer`
+    at the workload's full model width and folds the outcome into a
+    deterministic, serializable :class:`MeasuredStats`.
+
+    Raises:
+        KeyError: unknown model name.
+        ValueError: non-positive sequence length or batch size.
+    """
+    from repro.transformer.index_execution import execute_encoder_layer
+
+    settings = settings or DEFAULT_MEASUREMENT_SETTINGS
+    seed = _stable_seed(model, sequence_length, batch_size)
+    measurement = execute_encoder_layer(
+        model,
+        sequence_length=sequence_length,
+        batch_size=batch_size,
+        quantizer=_measurement_quantizer(settings),
+        seed=seed,
+    )
+    stats = measurement.stats
+    return MeasuredStats(
+        model=model,
+        sequence_length=sequence_length,
+        batch_size=batch_size,
+        gaussian_pairs=stats.gaussian_pairs,
+        outlier_pairs=stats.outlier_pairs,
+        index_additions=stats.index_additions,
+        counter_updates=stats.counter_updates,
+        post_processing_macs=stats.post_processing_macs,
+        gemm_instances=sum(g.count for g in measurement.gemms),
+        output_rms_error=measurement.output_rms_error,
+        seed=seed,
+        settings_digest=settings.digest(),
+    )

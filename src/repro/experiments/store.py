@@ -16,15 +16,18 @@ Each line is a self-describing record::
     {"schema_version": 1, "key": "<sha256 prefix>",
      "scenario": {...Scenario.to_dict()...},
      "result": {...SimulationResult.to_dict()...},
-     "fidelity": {...FidelityResult.to_dict()...}}   # optional
+     "fidelity": {...FidelityResult.to_dict()...},    # optional
+     "measured": {...MeasuredStats.to_dict()...}}     # optional
 
 The ``fidelity`` field is the accuracy half of the record (see
-:mod:`repro.experiments.accuracy`); it is omitted for hardware-only
-records, and a later accuracy campaign *upgrades* such a record by
-appending a new line under the same key (the last line per key wins on
-load).  Because unknown fields are tolerated in both directions, adding
-fidelity needs no ``SCHEMA_VERSION`` bump — the simulator numerics the
-key protects are unchanged.
+:mod:`repro.experiments.accuracy`) and ``measured`` is the measured
+index-domain operation mix (see :mod:`repro.experiments.measured`); both
+are omitted for hardware-only records, and a later campaign *upgrades*
+such a record by appending a new line under the same key (the last line
+per key wins on load; an upgrade line carries every part already known
+plus the new one).  Because unknown fields are tolerated in both
+directions, adding these joins needs no ``SCHEMA_VERSION`` bump — the
+simulator numerics the key protects are unchanged.
 
 Records with a different ``schema_version``, unparseable lines, and lines
 whose payload does not rebuild are skipped on load (counted in
@@ -45,13 +48,23 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, NamedTuple, Optional, Union
 
 from repro.accelerator.metrics import SimulationResult
 from repro.experiments.accuracy import FidelityResult
+from repro.experiments.measured import MeasuredStats
 from repro.experiments.scenario import Scenario
 
-__all__ = ["SCHEMA_VERSION", "scenario_key", "ArtifactStore"]
+__all__ = ["SCHEMA_VERSION", "scenario_key", "StoreEntry", "ArtifactStore"]
+
+
+class StoreEntry(NamedTuple):
+    """One stored record: the scenario, its result and optional joins."""
+
+    scenario: Scenario
+    result: SimulationResult
+    fidelity: Optional[FidelityResult]
+    measured: Optional[MeasuredStats]
 
 # Bump on any change that invalidates stored results: an incompatible
 # serialized form of Scenario/SimulationResult, OR an intentional change
@@ -89,20 +102,16 @@ class ArtifactStore:
         self.root = Path(root)
         self.path = self.root / RECORDS_FILENAME
         self._lock = threading.Lock()
-        self._index: Optional[
-            Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]
-        ] = None
+        self._index: Optional[Dict[str, StoreEntry]] = None
         #: Lines skipped on load (corrupt, wrong schema version, unreadable).
         self.skipped = 0
 
     # -- loading ---------------------------------------------------------
 
-    def _load_locked(
-        self,
-    ) -> Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]:
+    def _load_locked(self) -> Dict[str, StoreEntry]:
         if self._index is not None:
             return self._index
-        index: Dict[str, Tuple[Scenario, SimulationResult, Optional[FidelityResult]]] = {}
+        index: Dict[str, StoreEntry] = {}
         self.skipped = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as handle:
@@ -120,11 +129,15 @@ class ArtifactStore:
                         fidelity = (
                             None if raw_fidelity is None else FidelityResult.from_dict(raw_fidelity)
                         )
+                        raw_measured = record.get("measured")
+                        measured = (
+                            None if raw_measured is None else MeasuredStats.from_dict(raw_measured)
+                        )
                         key = record.get("key") or scenario_key(scenario)
                     except (ValueError, KeyError, TypeError, AttributeError):
                         self.skipped += 1
                         continue
-                    index[key] = (scenario, result, fidelity)
+                    index[key] = StoreEntry(scenario, result, fidelity, measured)
         self._index = index
         return index
 
@@ -142,24 +155,30 @@ class ArtifactStore:
         """The stored result for ``scenario``, or ``None``."""
         with self._lock:
             entry = self._load_locked().get(scenario_key(scenario))
-            return entry[1] if entry is not None else None
+            return entry.result if entry is not None else None
 
     def get_fidelity(self, scenario: Scenario) -> Optional[FidelityResult]:
         """The stored fidelity for ``scenario``, or ``None``."""
         with self._lock:
             entry = self._load_locked().get(scenario_key(scenario))
-            return entry[2] if entry is not None else None
+            return entry.fidelity if entry is not None else None
+
+    def get_measured(self, scenario: Scenario) -> Optional[MeasuredStats]:
+        """The stored measured stats for ``scenario``, or ``None``."""
+        with self._lock:
+            entry = self._load_locked().get(scenario_key(scenario))
+            return entry.measured if entry is not None else None
 
     def keys(self) -> List[str]:
         with self._lock:
             return list(self._load_locked())
 
-    def records(
-        self,
-    ) -> Iterator[Tuple[Scenario, SimulationResult, Optional[FidelityResult]]]:
-        """All stored ``(scenario, result, fidelity)`` triples, in insertion order.
+    def records(self) -> Iterator[StoreEntry]:
+        """All stored entries, in insertion order.
 
-        ``fidelity`` is ``None`` for hardware-only records.
+        Each :class:`StoreEntry` unpacks as ``(scenario, result,
+        fidelity, measured)``; the optional parts are ``None`` for
+        hardware-only records.
         """
         with self._lock:
             entries = list(self._load_locked().values())
@@ -172,22 +191,30 @@ class ArtifactStore:
         scenario: Scenario,
         result: SimulationResult,
         fidelity: Optional[FidelityResult] = None,
+        measured: Optional[MeasuredStats] = None,
     ) -> bool:
         """Persist one record; returns ``False`` if nothing new was stored.
 
-        A record already stored without fidelity is *upgraded* when
-        ``fidelity`` is provided: a fresh line is appended under the same
-        key (the last line per key wins on load).  A record that already
-        carries fidelity is never rewritten, and the no-op path skips
-        serialization entirely (it is the hot path of fully-cached
-        re-runs).
+        A record stored without fidelity and/or measured stats is
+        *upgraded* when the missing part is provided: a fresh line is
+        appended under the same key carrying every part already known plus
+        the new one (the last line per key wins on load).  A record that
+        already carries everything offered is never rewritten, and the
+        no-op path skips serialization entirely (it is the hot path of
+        fully-cached re-runs).
         """
         key = scenario_key(scenario)
         with self._lock:
             index = self._load_locked()
             existing = index.get(key)
-            if existing is not None and (fidelity is None or existing[2] is not None):
-                return False
+            if existing is not None:
+                adds_fidelity = fidelity is not None and existing.fidelity is None
+                adds_measured = measured is not None and existing.measured is None
+                if not adds_fidelity and not adds_measured:
+                    return False
+                # Carry the parts the stored record already has.
+                fidelity = fidelity if fidelity is not None else existing.fidelity
+                measured = measured if measured is not None else existing.measured
             record = {
                 "schema_version": SCHEMA_VERSION,
                 "key": key,
@@ -196,11 +223,13 @@ class ArtifactStore:
             }
             if fidelity is not None:
                 record["fidelity"] = fidelity.to_dict()
+            if measured is not None:
+                record["measured"] = measured.to_dict()
             line = json.dumps(record, sort_keys=True, separators=(",", ":"))
             self.root.mkdir(parents=True, exist_ok=True)
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
-            index[key] = (scenario, result, fidelity)
+            index[key] = StoreEntry(scenario, result, fidelity, measured)
             return True
 
     def clear(self) -> int:

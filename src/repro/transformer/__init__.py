@@ -9,6 +9,11 @@ activation *distributions* match what the paper relies on: bell-shaped
 """
 
 from repro.transformer.config import TransformerConfig
+from repro.transformer.index_execution import (
+    IndexDomainEncoderExecutor,
+    LayerMeasurement,
+    execute_encoder_layer,
+)
 from repro.transformer.model import TransformerModel
 from repro.transformer.profiling import ActivationProfiler, TensorStatistics
 
@@ -17,4 +22,7 @@ __all__ = [
     "TransformerModel",
     "ActivationProfiler",
     "TensorStatistics",
+    "IndexDomainEncoderExecutor",
+    "LayerMeasurement",
+    "execute_encoder_layer",
 ]

@@ -1,0 +1,380 @@
+"""Index-domain execution of encoder layers at model scale.
+
+The analytical accelerator models count operations from GEMM *shapes*
+plus assumed outlier rates; this module runs the counting datapath for
+real: one full-width encoder block (BERT-Base hidden 768 up to
+DeBERTa-XL hidden 1024, sequence lengths 128-512) executes forward with
+**every GEMM computed by the index-domain engine** on freshly quantized
+operands — the Q/K/V/output projections, the per-head attention score and
+context products (both operands activations, like the hardware's
+activation-by-activation GEMMs), the FFN pair, and DeBERTa's relative
+projections.  Everything between GEMMs (bias, softmax, GELU, residuals,
+LayerNorm) runs in floating point, mirroring the accelerator's
+post-processing units.
+
+The outcome is a :class:`LayerMeasurement`: per-GEMM *measured*
+:class:`~repro.core.index_compute.IndexComputeStats` (Gaussian vs outlier
+pair counts from the actual encodings, not the scheme's assumed
+fractions), wall-clock timings of the quantize and compute phases, and
+the output error against the FP forward of the same block.  The campaign
+engine joins these measured counts to scenario records
+(``run_campaign(..., with_measured=True)``) next to the analytic counts
+the schemes report.
+
+Only the vectorized engine makes this tractable — the scalar reference
+engine would need hours per layer-scale GEMM — but the scalar engine
+remains selectable for equivalence tests on scaled-down configurations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.index_compute import (
+    IndexComputeStats,
+    IndexDomainEngine,
+    VectorizedIndexDomainEngine,
+)
+from repro.core.quantizer import MokeyQuantizer
+from repro.transformer.config import TransformerConfig
+from repro.transformer.encoder import EncoderBlock
+from repro.transformer.functional import gelu, softmax
+from repro.transformer.layers import Linear
+from repro.transformer.model_zoo import MODEL_CONFIGS
+
+__all__ = [
+    "GemmMeasurement",
+    "LayerMeasurement",
+    "IndexDomainEncoderExecutor",
+    "execute_encoder_layer",
+]
+
+ENGINES = ("vectorized", "scalar")
+
+
+@dataclass
+class GemmMeasurement:
+    """Measured outcome of all instances of one named layer GEMM.
+
+    Attributes:
+        name: Workload GEMM label (``attention.query``, ``ffn.output``, ...),
+            matching :func:`repro.accelerator.workloads.encoder_gemms`.
+        m, k, n: Shape of one instance.
+        count: Instances executed (heads x batch for the attention
+            score/context GEMMs, 1 otherwise).
+        stats: Measured operation counts summed over all instances.
+        quantize_seconds: Wall time spent fitting/encoding the operands.
+        engine_seconds: Wall time spent in the index-domain engine.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 0
+    stats: IndexComputeStats = field(default_factory=IndexComputeStats)
+    quantize_seconds: float = 0.0
+    engine_seconds: float = 0.0
+
+
+@dataclass
+class LayerMeasurement:
+    """Measured index-domain execution of one encoder layer.
+
+    Attributes:
+        model: Configuration name the block was built from.
+        sequence_length: Tokens per input.
+        batch_size: Inputs per pass.
+        gemms: Per-GEMM measurements, in execution order.
+        stats: Operation counts merged over every GEMM instance.
+        quantize_seconds: Total operand fit/encode wall time.
+        engine_seconds: Total index-domain compute wall time.
+        total_seconds: End-to-end wall time of the layer forward.
+        output_rms_error: RMS error of the index-domain layer output
+            against the FP forward, relative to the FP output RMS.
+    """
+
+    model: str
+    sequence_length: int
+    batch_size: int
+    gemms: List[GemmMeasurement]
+    stats: IndexComputeStats
+    quantize_seconds: float
+    engine_seconds: float
+    total_seconds: float
+    output_rms_error: float
+
+    @property
+    def measured_macs(self) -> int:
+        """Total operand pairs processed (equals the layer's MAC count)."""
+        return self.stats.total_pairs
+
+    @property
+    def outlier_pair_fraction(self) -> float:
+        return self.stats.outlier_pair_fraction
+
+
+class IndexDomainEncoderExecutor:
+    """Runs :class:`EncoderBlock` forwards with index-domain GEMMs.
+
+    Args:
+        quantizer: Tensor-level Mokey quantizer (owns the Golden
+            Dictionary); a default one is generated if omitted.
+        engine: ``"vectorized"`` (default) or ``"scalar"`` (reference;
+            only tractable on scaled-down configurations).
+    """
+
+    def __init__(
+        self,
+        quantizer: Optional[MokeyQuantizer] = None,
+        engine: str = "vectorized",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+        self.quantizer = quantizer or MokeyQuantizer()
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # One GEMM through the index domain
+    # ------------------------------------------------------------------ #
+    def _gemm(
+        self,
+        measurements: Dict[str, GemmMeasurement],
+        name: str,
+        x: np.ndarray,
+        w: np.ndarray,
+    ) -> np.ndarray:
+        """Quantize both operands, multiply in the index domain, record."""
+        started = time.perf_counter()
+        xq = self.quantizer.quantize(np.asarray(x, dtype=np.float64), f"{name}.in")
+        wq = self.quantizer.quantize(np.asarray(w, dtype=np.float64), f"{name}.weight")
+        quantized = time.perf_counter()
+
+        if self.engine == "vectorized":
+            engine = VectorizedIndexDomainEngine(xq.dictionary, wq.dictionary)
+            out = engine.matmul(xq, wq)
+            values, stats = out.values, out.stats
+        else:
+            engine = IndexDomainEngine(xq.dictionary, wq.dictionary)
+            values, stats = engine.matmul(xq, wq)
+        finished = time.perf_counter()
+
+        record = measurements.get(name)
+        if record is None:
+            m, k = x.shape
+            record = GemmMeasurement(name=name, m=m, k=k, n=w.shape[1])
+            measurements[name] = record
+        record.count += 1
+        record.stats.merge(stats)
+        record.quantize_seconds += quantized - started
+        record.engine_seconds += finished - quantized
+        return values
+
+    def _projection(
+        self,
+        measurements: Dict[str, GemmMeasurement],
+        name: str,
+        x2d: np.ndarray,
+        linear: Linear,
+    ) -> np.ndarray:
+        """``x2d @ linear.weight`` in the index domain, bias added in FP."""
+        return self._gemm(measurements, name, x2d, linear.weight) + linear.bias
+
+    # ------------------------------------------------------------------ #
+    # Block forward
+    # ------------------------------------------------------------------ #
+    def run_block(
+        self,
+        block: EncoderBlock,
+        hidden_states: np.ndarray,
+    ) -> "tuple[np.ndarray, List[GemmMeasurement]]":
+        """Forward ``hidden_states`` through ``block``, all GEMMs indexed.
+
+        Args:
+            block: The encoder block to execute.
+            hidden_states: ``(batch, seq, hidden)`` input activations.
+
+        Returns:
+            The ``(batch, seq, hidden)`` block output and the per-GEMM
+            measurements in execution order.
+        """
+        attn = block.attention
+        batch, seq, hidden = hidden_states.shape
+        heads, head_dim = attn.num_heads, attn.head_dim
+        measurements: Dict[str, GemmMeasurement] = {}
+        flat = hidden_states.reshape(batch * seq, hidden)
+
+        q = self._projection(measurements, "attention.query", flat, attn.query)
+        k = self._projection(measurements, "attention.key", flat, attn.key)
+        v = self._projection(measurements, "attention.value", flat, attn.value)
+        qh = attn._split_heads(q.reshape(batch, seq, hidden))
+        kh = attn._split_heads(k.reshape(batch, seq, hidden))
+        vh = attn._split_heads(v.reshape(batch, seq, hidden))
+
+        scores = np.empty((batch, heads, seq, seq), dtype=np.float64)
+        for b in range(batch):
+            for h in range(heads):
+                scores[b, h] = self._gemm(
+                    measurements, "attention.scores", qh[b, h], kh[b, h].T
+                )
+        scores /= np.sqrt(head_dim)
+
+        if attn.disentangled:
+            # The two relative projections are ordinary weight GEMMs; the
+            # content/position contractions against the shared embedding
+            # table run in FP like the paper's analytic GEMM set assumes.
+            rel_q = self._projection(
+                measurements, "attention.relative_query", flat, attn.relative_query
+            ).reshape(batch, seq, hidden)
+            rel_k = self._projection(
+                measurements, "attention.relative_key", flat, attn.relative_key
+            ).reshape(batch, seq, hidden)
+            table = attn.relative_embedding
+            max_dist = table.shape[0] // 2
+            positions = np.arange(seq)
+            distance = np.clip(
+                positions[None, :] - positions[:, None], -max_dist, max_dist - 1
+            )
+            rel = table[distance + max_dist].reshape(seq, seq, heads, head_dim)
+            c2p = np.einsum("bhid,ijhd->bhij", attn._split_heads(rel_q), rel)
+            p2c = np.einsum("bhjd,ijhd->bhij", attn._split_heads(rel_k), rel)
+            scores += (c2p + p2c) / np.sqrt(3.0 * head_dim)
+
+        probs = softmax(scores, axis=-1)
+
+        context = np.empty((batch, heads, seq, head_dim), dtype=np.float64)
+        for b in range(batch):
+            for h in range(heads):
+                context[b, h] = self._gemm(
+                    measurements, "attention.context", probs[b, h], vh[b, h]
+                )
+        merged = attn._merge_heads(context).reshape(batch * seq, hidden)
+
+        attn_out = self._projection(measurements, "attention.output", merged, attn.output)
+        hidden_states = block.attention_norm(
+            hidden_states + attn_out.reshape(batch, seq, hidden).astype(np.float32)
+        )
+
+        flat2 = hidden_states.reshape(batch * seq, hidden)
+        inter = gelu(
+            self._projection(
+                measurements, "ffn.intermediate", flat2, block.ffn.intermediate
+            )
+        )
+        ffn_out = self._projection(measurements, "ffn.output", inter, block.ffn.output)
+        output = block.output_norm(
+            hidden_states + ffn_out.reshape(batch, seq, hidden).astype(np.float32)
+        )
+        return output, list(measurements.values())
+
+
+def _resolve_config(model: Union[str, TransformerConfig]) -> TransformerConfig:
+    if isinstance(model, TransformerConfig):
+        return model
+    if model not in MODEL_CONFIGS:
+        raise KeyError(f"unknown model {model!r}; known: {sorted(MODEL_CONFIGS)}")
+    return MODEL_CONFIGS[model]
+
+
+def _build_block(config: TransformerConfig, seed: int) -> EncoderBlock:
+    """One synthetic encoder block at full configured width."""
+    from repro.transformer.model_zoo import _layer_norm, _linear
+
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+    if config.disentangled_attention:
+        relative_key = _linear(rng, h, h)
+        relative_query = _linear(rng, h, h)
+        relative_embedding = np.random.default_rng(seed + 1).normal(
+            0.0, 0.02, size=(2 * min(64, config.max_position_embeddings), h)
+        ).astype(np.float32)
+    else:
+        relative_key = relative_query = relative_embedding = None
+    from repro.transformer.attention import MultiHeadSelfAttention
+    from repro.transformer.layers import FeedForward
+
+    attention = MultiHeadSelfAttention(
+        query=_linear(rng, h, h),
+        key=_linear(rng, h, h),
+        value=_linear(rng, h, h),
+        output=_linear(rng, h, h),
+        num_heads=config.num_heads,
+        relative_key=relative_key,
+        relative_query=relative_query,
+        relative_embedding=relative_embedding,
+    )
+    ffn = FeedForward(
+        intermediate=_linear(rng, h, config.intermediate_size),
+        output=_linear(rng, config.intermediate_size, h),
+    )
+    return EncoderBlock(
+        attention=attention,
+        attention_norm=_layer_norm(rng, h, config.layer_norm_eps),
+        ffn=ffn,
+        output_norm=_layer_norm(rng, h, config.layer_norm_eps),
+    )
+
+
+def execute_encoder_layer(
+    model: Union[str, TransformerConfig] = "bert-base",
+    sequence_length: int = 128,
+    batch_size: int = 1,
+    quantizer: Optional[MokeyQuantizer] = None,
+    engine: str = "vectorized",
+    seed: int = 0,
+) -> LayerMeasurement:
+    """Execute one encoder layer end-to-end in the index domain.
+
+    Builds a synthetic full-width encoder block (deterministic in
+    ``seed``), feeds it normalised synthetic hidden states, runs every
+    GEMM through the index-domain engine and returns the measured
+    operation counts, timings and output error against the FP forward of
+    the same block.
+
+    Args:
+        model: Model-zoo name (full-size configuration) or an explicit
+            :class:`TransformerConfig` (e.g. a scaled one for tests).
+        sequence_length: Tokens per input (the paper sweeps 128-512).
+        batch_size: Inputs per pass.
+        quantizer: Shared tensor quantizer; generated if omitted.
+        engine: ``"vectorized"`` (default) or ``"scalar"`` (reference).
+        seed: Seed for the block weights and input activations.
+    """
+    config = _resolve_config(model)
+    if sequence_length < 1:
+        raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    block = _build_block(config, seed)
+    rng = np.random.default_rng(seed + 2)
+    hidden_states = rng.normal(
+        0.0, 1.0, size=(batch_size, sequence_length, config.hidden_size)
+    ).astype(np.float32)
+
+    executor = IndexDomainEncoderExecutor(quantizer=quantizer, engine=engine)
+    started = time.perf_counter()
+    output, gemms = executor.run_block(block, hidden_states)
+    total_seconds = time.perf_counter() - started
+
+    fp_output = block(hidden_states)
+    fp_rms = float(np.sqrt(np.mean(np.square(fp_output)))) or 1.0
+    rms_error = float(np.sqrt(np.mean(np.square(output - fp_output)))) / fp_rms
+
+    stats = IndexComputeStats()
+    for gemm in gemms:
+        stats.merge(gemm.stats)
+    return LayerMeasurement(
+        model=config.name,
+        sequence_length=sequence_length,
+        batch_size=batch_size,
+        gemms=gemms,
+        stats=stats,
+        quantize_seconds=sum(g.quantize_seconds for g in gemms),
+        engine_seconds=sum(g.engine_seconds for g in gemms),
+        total_seconds=total_seconds,
+        output_rms_error=rms_error,
+    )

@@ -246,7 +246,7 @@ class TestAccuracyStore:
         fresh = ArtifactStore(tmp_path / "store")
         for record in campaign:
             assert fresh.get_fidelity(record.scenario) == record.fidelity
-        assert all(fidelity is not None for _s, _r, fidelity in fresh.records())
+        assert all(entry.fidelity is not None for entry in fresh.records())
 
     def test_second_campaign_simulates_and_evaluates_nothing(self, tmp_path):
         store_root = tmp_path / "store"

@@ -4,17 +4,24 @@ The central claim of the paper is that the dot product of two
 Mokey-quantized tensors can be computed exactly from exponent-sum
 histograms plus a handful of constants.  These tests verify that claim by
 comparing the index-domain result against the dot product of the decoded
-(dequantized) operands.
+(dequantized) operands, and lock the vectorized engine's guarantee —
+values equal to the scalar reference within fp tolerance, operation
+statistics *identical* — with hypothesis property tests.
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.index_compute import (
     IndexComputeStats,
     IndexDomainEngine,
+    IndexMatmulResult,
+    VectorizedIndexDomainEngine,
     index_domain_dot,
     index_domain_matmul,
+    vectorized_index_domain_matmul,
 )
 from repro.core.quantizer import MokeyQuantizer
 
@@ -149,3 +156,226 @@ class TestMatmul:
         wq = quantizer.quantize(rng.normal(0, 1, (4, 2)), "w")
         with pytest.raises(ValueError):
             index_domain_matmul(aq, wq)
+
+
+def _decoded_matmul(aq, wq):
+    a = aq.dictionary.decode(aq.encoded, apply_fixed_point=False).reshape(aq.shape)
+    w = wq.dictionary.decode(wq.encoded, apply_fixed_point=False).reshape(wq.shape)
+    return a @ w
+
+
+def _quantized_matrices(quantizer, rng, m, k, n, act_outliers=0.05, w_outliers=0.02):
+    a = rng.normal(0.2, 1.5, (m, k))
+    if act_outliers > 0 and a.size:
+        count = max(1, int(a.size * act_outliers))
+        a.ravel()[rng.choice(a.size, count, replace=False)] = (
+            rng.choice([-1, 1], count) * 50.0
+        )
+    w = rng.normal(0, 0.03, (k, n))
+    if w_outliers > 0 and w.size:
+        count = max(1, int(w.size * w_outliers))
+        w.ravel()[rng.choice(w.size, count, replace=False)] = (
+            rng.choice([-1, 1], count) * 0.4
+        )
+    return quantizer.quantize(a, "a"), quantizer.quantize(w, "w")
+
+
+class TestVectorizedEngine:
+    """Vectorized == scalar: values to fp tolerance, statistics identical."""
+
+    def test_matches_scalar_values_and_stats(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 9, 64, 7)
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        result = vectorized_index_domain_matmul(aq, wq)
+        assert isinstance(result, IndexMatmulResult)
+        assert np.allclose(result.values, scalar_values, rtol=1e-9, atol=1e-9)
+        assert result.stats == scalar_stats
+
+    def test_matches_decoded_matmul(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 6, 48, 5)
+        result = vectorized_index_domain_matmul(aq, wq)
+        assert np.allclose(result.values, _decoded_matmul(aq, wq), rtol=1e-9, atol=1e-9)
+
+    def test_default_matmul_engine_is_vectorized_and_equivalent(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 4, 32, 3)
+        default_values, default_stats = index_domain_matmul(aq, wq)
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        assert np.allclose(default_values, scalar_values, rtol=1e-9, atol=1e-9)
+        assert default_stats == scalar_stats
+
+    def test_unknown_engine_rejected(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 2, 8, 2)
+        with pytest.raises(ValueError):
+            index_domain_matmul(aq, wq, engine="simd")
+
+    def test_per_row_stats_merge_to_aggregate(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 5, 40, 6)
+        result = vectorized_index_domain_matmul(aq, wq, per_row_stats=True)
+        assert len(result.row_stats) == 5
+        merged = IndexComputeStats()
+        for row in result.row_stats:
+            merged.merge(row)
+        assert merged == result.stats
+
+    def test_per_row_stats_match_scalar_rows(self, quantizer, rng):
+        from repro.core.index_compute import _slice_encoded
+
+        aq, wq = _quantized_matrices(quantizer, rng, 3, 24, 4)
+        result = vectorized_index_domain_matmul(aq, wq, per_row_stats=True)
+        engine = IndexDomainEngine(aq.dictionary, wq.dictionary)
+        for row in range(3):
+            row_enc = _slice_encoded(aq.encoded, aq.shape, row, axis=0)
+            merged = IndexComputeStats()
+            for col in range(4):
+                col_enc = _slice_encoded(wq.encoded, wq.shape, col, axis=1)
+                merged.merge(engine.dot(row_enc, col_enc).stats)
+            assert result.row_stats[row] == merged
+
+    def test_shape_validation_matches_scalar(self, quantizer, rng):
+        aq = quantizer.quantize(rng.normal(0, 1, 8), "a")
+        wq = quantizer.quantize(rng.normal(0, 1, (8, 2)), "w")
+        with pytest.raises(ValueError):
+            vectorized_index_domain_matmul(aq, wq)
+        aq2 = quantizer.quantize(rng.normal(0, 1, (2, 8)), "a")
+        wq2 = quantizer.quantize(rng.normal(0, 1, (4, 2)), "w")
+        with pytest.raises(ValueError):
+            vectorized_index_domain_matmul(aq2, wq2)
+
+    def test_mismatched_golden_dictionaries_rejected(self, quantizer, rng):
+        from repro.core.golden_dictionary import generate_golden_dictionary
+
+        other = MokeyQuantizer(
+            generate_golden_dictionary(num_samples=2000, num_repeats=1, seed=99)
+        )
+        aq = quantizer.quantize(rng.normal(0, 1, (2, 8)), "a")
+        wq = other.quantize(rng.normal(0, 1, (8, 2)), "w")
+        if np.isclose(aq.dictionary.golden.fit.a, wq.dictionary.golden.fit.a):
+            pytest.skip("randomly identical fits")
+        with pytest.raises(ValueError):
+            VectorizedIndexDomainEngine(aq.dictionary, wq.dictionary)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        k=st.integers(min_value=1, max_value=12),
+        n=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        act_outliers=st.sampled_from([0.0, 0.1]),
+    )
+    def test_property_vectorized_equals_scalar(
+        self, quantizer, m, k, n, seed, act_outliers
+    ):
+        rng = np.random.default_rng(seed)
+        aq, wq = _quantized_matrices(
+            quantizer, rng, m, k, n, act_outliers=act_outliers, w_outliers=0.05
+        )
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        result = vectorized_index_domain_matmul(aq, wq, per_row_stats=True)
+        scale = max(1.0, float(np.abs(scalar_values).max()))
+        assert np.allclose(result.values, scalar_values, rtol=1e-9, atol=1e-9 * scale)
+        assert result.stats == scalar_stats
+        merged = IndexComputeStats()
+        for row in result.row_stats:
+            merged.merge(row)
+        assert merged == result.stats
+
+
+class TestEdgeCases:
+    """Empty, length-1, and all-outlier operands; error paths; identities."""
+
+    def _empty_pair(self, quantizer, rng, shape_a, shape_w):
+        # An empty tensor cannot fit its own dictionary; borrow one fitted
+        # on a real sample (the runtime path for streamed activations).
+        act_dict = quantizer.fit_dictionary("a", rng.normal(0, 1.5, 256))
+        w_dict = quantizer.fit_dictionary("w", rng.normal(0, 0.02, 256))
+        return (
+            quantizer.quantize(np.empty(shape_a), dictionary=act_dict),
+            quantizer.quantize(np.empty(shape_w), dictionary=w_dict),
+        )
+
+    def test_empty_dot_is_zero(self, quantizer, rng):
+        aq, wq = self._empty_pair(quantizer, rng, (0,), (0,))
+        result = index_domain_dot(aq, wq)
+        assert result.value == 0.0
+        assert result.stats.total_pairs == 0
+        assert result.stats.counter_updates == 0
+        # The fixed post-processing drain happens even for an empty output.
+        assert result.stats.post_processing_macs > 0
+
+    def test_empty_inner_dimension_matmul(self, quantizer, rng):
+        aq, wq = self._empty_pair(quantizer, rng, (3, 0), (0, 2))
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        result = vectorized_index_domain_matmul(aq, wq)
+        assert result.values.shape == (3, 2)
+        assert np.all(result.values == 0.0)
+        assert np.all(scalar_values == 0.0)
+        assert result.stats == scalar_stats
+        assert result.stats.total_pairs == 0
+
+    def test_empty_output_plane_matmul(self, quantizer, rng):
+        aq, wq = self._empty_pair(quantizer, rng, (0, 4), (4, 0))
+        aq = quantizer.quantize(np.empty((0, 4)), dictionary=aq.dictionary)
+        result = vectorized_index_domain_matmul(aq, wq, per_row_stats=True)
+        assert result.values.shape == (0, 0)
+        assert result.stats.total_pairs == 0
+        assert result.row_stats == []
+
+    def test_length_one_vectors(self, quantizer, rng):
+        aq = quantizer.quantize(np.array([1.7]), "a")
+        wq = quantizer.quantize(np.array([-0.02]), "w")
+        result = index_domain_dot(aq, wq)
+        reference = _reference_dot(aq, wq)
+        assert result.value == pytest.approx(reference, rel=1e-9, abs=1e-12)
+        assert result.stats.total_pairs == 1
+
+    def test_length_one_matmul(self, quantizer, rng):
+        aq, wq = _quantized_matrices(quantizer, rng, 1, 1, 1, act_outliers=0, w_outliers=0)
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        result = vectorized_index_domain_matmul(aq, wq)
+        assert result.values.shape == (1, 1)
+        assert np.allclose(result.values, scalar_values, rtol=1e-9, atol=1e-12)
+        assert result.stats == scalar_stats
+
+    def test_all_outlier_vectors(self, quantizer, rng):
+        # Fit on a sample with a heavy tail so an outlier dictionary
+        # exists, then feed vectors living entirely in that tail.
+        profile = rng.normal(0, 1.0, 2048)
+        profile[:64] = rng.choice([-1, 1], 64) * 90.0
+        act_dict = quantizer.fit_dictionary("a", profile)
+        a = rng.choice([-1, 1], (4, 6)) * rng.uniform(80.0, 100.0, (4, 6))
+        aq = quantizer.quantize(a, dictionary=act_dict)
+        assert bool(aq.encoded.is_outlier.all())
+        wq = quantizer.quantize(rng.normal(0, 0.02, (6, 3)), "w")
+        scalar_values, scalar_stats = index_domain_matmul(aq, wq, engine="scalar")
+        result = vectorized_index_domain_matmul(aq, wq)
+        assert scalar_stats.gaussian_pairs == 0
+        assert scalar_stats.outlier_pairs == 4 * 6 * 3
+        assert result.stats == scalar_stats
+        assert np.allclose(result.values, scalar_values, rtol=1e-9, atol=1e-9)
+        assert np.allclose(result.values, _decoded_matmul(aq, wq), rtol=1e-9, atol=1e-9)
+
+    def test_merge_identities(self):
+        zero = IndexComputeStats()
+        some = IndexComputeStats(
+            gaussian_pairs=7, outlier_pairs=2, index_additions=7,
+            counter_updates=28, post_processing_macs=35,
+        )
+        # Zero is the identity on both sides.
+        assert IndexComputeStats().merge(some) == some
+        assert some.copy().merge(zero) == some
+        # Merge order does not matter (component-wise addition).
+        other = IndexComputeStats(
+            gaussian_pairs=1, outlier_pairs=5, index_additions=1,
+            counter_updates=4, post_processing_macs=38,
+        )
+        assert some.copy().merge(other) == other.copy().merge(some)
+        # merge(x) n times == scaled(n) starting from x.
+        tripled = some.copy().merge(some).merge(some)
+        assert tripled == some.scaled(3)
+        assert some.scaled(1) == some
+        assert some.scaled(0) == zero
+
+    def test_merge_returns_self_for_chaining(self):
+        stats = IndexComputeStats(gaussian_pairs=1)
+        assert stats.merge(IndexComputeStats(gaussian_pairs=2)) is stats
+        assert stats.gaussian_pairs == 3
