@@ -1,45 +1,63 @@
 """Perf benchmark of campaign throughput (scenarios simulated per second).
 
-Writes the ``campaign_throughput`` section of ``BENCH_PERF.json``: how
-fast ``run_campaign`` chews through a fresh (uncached) scenario grid with
-the serial executor, and how fast a fully-cached re-run resolves.  The
-analytic simulator is the hot path of every figure benchmark and of the
-``repro`` CLI, so a regression here shows up everywhere.
+Writes the ``campaign_throughput`` and ``campaign_streaming_overhead``
+sections of ``BENCH_PERF.json``: how fast the campaign engine chews
+through a fresh (uncached) scenario grid with the serial executor, how
+fast a fully-cached re-run resolves, and how much the streaming path
+(``iter_campaign`` drained event by event) costs relative to the batch
+path (``run_spec``).  The analytic simulator is the hot path of every
+figure benchmark and of the ``repro`` CLI, so a regression here shows up
+everywhere — and because ``run_campaign``/``run_spec`` are thin wrappers
+that drain the same streaming engine, streaming must stay within noise of
+batch (the guard allows 5%).
 """
 
 import time
 
 from conftest import PAPER_WORKLOAD_SPECS, TINY_MODE, record_perf
 
-from repro.experiments import ResultCache, expand_grid, run_campaign
+from repro.experiments import (
+    AxisGrid,
+    CampaignSpec,
+    ExecutionPolicy,
+    ResultCache,
+    iter_campaign,
+    run_spec,
+)
 
 KB = 1024
 
 if TINY_MODE:
     GRID_KWARGS = dict(
-        workloads=PAPER_WORKLOAD_SPECS[:2],
+        workloads=tuple(PAPER_WORKLOAD_SPECS[:2]),
         designs=("mokey", "tensor-cores"),
         buffer_bytes=(256 * KB, 512 * KB),
     )
 else:
     GRID_KWARGS = dict(
-        workloads=PAPER_WORKLOAD_SPECS,
+        workloads=tuple(PAPER_WORKLOAD_SPECS),
         designs=("mokey", "gobo", "tensor-cores"),
         buffer_bytes=(256 * KB, 512 * KB, 1024 * KB, 2048 * KB),
     )
 
+SPEC = CampaignSpec(
+    name="perf-campaign",
+    axes=AxisGrid(**GRID_KWARGS),
+    execution=ExecutionPolicy(executor="serial"),
+)
+
 
 def test_perf_campaign_throughput():
-    scenarios = expand_grid(**GRID_KWARGS)
+    scenarios = SPEC.scenarios()
     cache = ResultCache()
 
     started = time.perf_counter()
-    campaign = run_campaign(scenarios, cache=cache, executor="serial")
+    campaign = run_spec(SPEC, cache=cache)
     fresh_seconds = time.perf_counter() - started
     assert campaign.simulated_count == len(scenarios)
 
     started = time.perf_counter()
-    cached = run_campaign(scenarios, cache=cache, executor="serial")
+    cached = run_spec(SPEC, cache=cache)
     cached_seconds = time.perf_counter() - started
     assert cached.simulated_count == 0
 
@@ -65,3 +83,45 @@ def test_perf_campaign_throughput():
     # structural regression, not machine noise.
     assert fresh_rate > 5.0
     assert cached_rate > 100.0
+
+
+def test_perf_streaming_overhead_under_5_percent():
+    """Draining ``iter_campaign`` must cost within 5% of the batch path.
+
+    Both paths run the same streaming engine underneath, so any real gap
+    is structural (e.g. per-event work leaking into the generator).
+    Best-of-5, alternating A/B to decorrelate thermal/scheduler noise.
+    """
+    rounds = 5
+    batch_best = float("inf")
+    stream_best = float("inf")
+    record_count = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        campaign = run_spec(SPEC)
+        batch_best = min(batch_best, time.perf_counter() - started)
+        assert campaign.simulated_count == len(campaign)
+
+        started = time.perf_counter()
+        records = [record for record, _progress in iter_campaign(SPEC)]
+        stream_best = min(stream_best, time.perf_counter() - started)
+        record_count = len(records)
+
+    overhead = stream_best / batch_best - 1.0
+    print(
+        f"\nstreaming overhead: batch {batch_best * 1e3:.1f} ms, "
+        f"streamed {stream_best * 1e3:.1f} ms over {record_count} records "
+        f"({overhead * 100:+.1f}%)"
+    )
+    record_perf(
+        "campaign_streaming_overhead",
+        {
+            "records": record_count,
+            "batch_best_seconds": batch_best,
+            "streaming_best_seconds": stream_best,
+            "overhead_fraction": overhead,
+        },
+    )
+    assert overhead < 0.05, (
+        f"streaming path {overhead * 100:.1f}% slower than batch (allowed: 5%)"
+    )

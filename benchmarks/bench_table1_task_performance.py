@@ -14,7 +14,7 @@ from conftest import PAPER_WORKLOAD_SPECS, TINY_MODE
 
 from repro.analysis.fidelity import table1_rows
 from repro.analysis.reporting import format_table
-from repro.experiments import expand_grid, run_campaign
+from repro.experiments import AxisGrid, CampaignSpec, Enrichments, ExecutionPolicy, run_spec
 
 # Tiny mode keeps one row per task family (classification, qa) instead of
 # all eight Table I rows.
@@ -22,10 +22,16 @@ BENCH_WORKLOADS = (
     (PAPER_WORKLOAD_SPECS[0], PAPER_WORKLOAD_SPECS[3]) if TINY_MODE else PAPER_WORKLOAD_SPECS
 )
 
+SPEC = CampaignSpec(
+    name="table1",
+    axes=AxisGrid(workloads=tuple(BENCH_WORKLOADS), designs=("mokey",)),
+    enrichments=Enrichments(accuracy=True),
+    execution=ExecutionPolicy(executor="serial"),
+)
+
 
 def _compute():
-    scenarios = expand_grid(workloads=BENCH_WORKLOADS, designs=("mokey",))
-    return run_campaign(scenarios, with_accuracy=True, executor="serial")
+    return run_spec(SPEC)
 
 
 def test_table1_task_performance(benchmark):

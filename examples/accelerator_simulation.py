@@ -1,25 +1,36 @@
 """Simulate the Mokey accelerator against Tensor Cores and GOBO (Fig. 9-13 flow).
 
-Sweeps the on-chip buffer capacity for a chosen model/task workload
-through the campaign engine (one ``run_campaign`` call covers the full
-design x buffer grid) and prints cycle counts, speedups, energy breakdowns
-and chip areas for the three accelerator designs the paper evaluates.
+Declares the sweep as a :class:`~repro.experiments.spec.CampaignSpec` —
+the on-chip buffer axis for a chosen model/task workload across the three
+accelerator designs the paper evaluates — and streams it through
+``iter_campaign``, printing progress as scenarios complete, then prints
+cycle counts, speedups, energy breakdowns and chip areas.
 
 Run with::
 
     python examples/accelerator_simulation.py [model] [task] [store_dir]
 
 e.g. ``python examples/accelerator_simulation.py bert-large squad``.  With
-a ``store_dir``, results persist to an on-disk artifact store and a second
-run resolves the whole grid from disk without simulating.  The same flow
-is scriptable via the CLI: ``python -m repro campaign run ...``.
+a ``store_dir``, every completed scenario is appended to an on-disk
+artifact store *as it finishes* — kill the run halfway and a second
+invocation resumes from the store, simulating only what is missing (the
+same spec can be saved with ``spec.save("sweep.json")`` and driven from
+the CLI: ``python -m repro campaign run --spec sweep.json``).
 """
 
 import sys
 from typing import Optional
 
 from repro.analysis.reporting import format_table
-from repro.experiments import ArtifactStore, ResultCache, expand_grid, run_campaign
+from repro.experiments import (
+    ArtifactStore,
+    AxisGrid,
+    CampaignResult,
+    CampaignSpec,
+    ExecutionPolicy,
+    ResultCache,
+    iter_campaign,
+)
 
 KB = 1024
 MB = 1024 * 1024
@@ -30,19 +41,36 @@ DESIGNS = ("tensor-cores", "gobo", "mokey")
 def main(
     model_name: str = "bert-large", task: str = "squad", store_dir: Optional[str] = None
 ) -> None:
-    scenarios = expand_grid(
-        workloads=[(model_name, task, None)],
-        designs=DESIGNS,
-        buffer_bytes=BUFFERS,
+    spec = CampaignSpec(
+        name="accelerator-simulation",
+        axes=AxisGrid(
+            workloads=((model_name, task, None),),
+            designs=DESIGNS,
+            buffer_bytes=BUFFERS,
+        ),
+        execution=ExecutionPolicy(store=store_dir),
     )
+    # An explicit cache keeps the hit counters for the summary below; its
+    # backing store is the same directory the spec's policy names, so the
+    # CLI (`repro campaign run --spec`) and this script share results.
     cache = ResultCache(store=None if store_dir is None else ArtifactStore(store_dir))
-    campaign = run_campaign(scenarios, cache=cache)
+
+    records = []
+    for record, progress in iter_campaign(spec, cache=cache):
+        records.append(record)
+        print(
+            f"  {progress} {record.scenario.label}"
+            + (" [cached]" if record.cached else ""),
+            file=sys.stderr,
+        )
+    campaign = CampaignResult(records, cache)
     if store_dir is not None:
         print(
             f"store {store_dir}: {campaign.simulated_count} simulated, "
             f"{cache.store_hits} served from disk"
         )
 
+    scenarios = spec.scenarios()
     workload = scenarios[0].build_workload()
     print(f"workload: {workload.name} — {workload.total_macs / 1e9:.1f} GMACs, "
           f"{workload.num_layers} encoder layers")

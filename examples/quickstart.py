@@ -1,12 +1,16 @@
 """Quickstart: quantize a tensor with Mokey and compute in the index domain.
 
 Demonstrates the three core ideas of the paper on a single weight/activation
-pair:
+pair, plus the evaluation stack that measures them at scale:
 
 1. the Golden Dictionary and its exponential fit (``a**int + b``),
-2. 4-bit encoding of a tensor with Gaussian/outlier dictionaries, and
+2. 4-bit encoding of a tensor with Gaussian/outlier dictionaries,
 3. computing a dot product directly on the 4-bit indexes (Eq. 3-6) and
-   checking it against the dequantized reference.
+   checking it against the dequantized reference, and
+4. a declarative campaign: the accelerator comparison as a frozen,
+   JSON-round-trippable ``CampaignSpec`` streamed through
+   ``iter_campaign``, with every pluggable axis enumerable through the
+   unified registry surface.
 
 Run with::
 
@@ -15,7 +19,17 @@ Run with::
 
 import numpy as np
 
-from repro import GoldenDictionary, MokeyQuantizer, generate_golden_dictionary
+from repro import (
+    AxisGrid,
+    CampaignSpec,
+    ExecutionPolicy,
+    GoldenDictionary,
+    MokeyQuantizer,
+    generate_golden_dictionary,
+    get_registry,
+    iter_campaign,
+    registry_kinds,
+)
 from repro.core.index_compute import index_domain_dot
 
 
@@ -60,6 +74,36 @@ def main() -> None:
     print(f"  original FP value    = {fp_value: .6f}  (quantization error only)")
     print(f"  operation mix: {result.stats.gaussian_pairs} narrow additions, "
           f"{result.stats.outlier_pairs} outlier MACs")
+
+    # Step 4 — a declarative campaign over the pluggable axes.  Every
+    # axis value below is a registry name; `repro registry list <kind>`
+    # (or get_registry(kind).describe()) enumerates the choices.
+    print("\nPluggable axes (the unified registry surface):")
+    for kind in registry_kinds():
+        print(f"  {kind:8s} {', '.join(get_registry(kind).names())}")
+
+    spec = CampaignSpec(
+        name="quickstart",
+        axes=AxisGrid(
+            models=("bert-base",),
+            tasks=("mnli",),
+            designs=("tensor-cores", "mokey"),
+            buffer_bytes=(512 * 1024,),
+        ),
+        execution=ExecutionPolicy(executor="serial"),
+    )
+    print("\nDeclarative campaign (spec is plain JSON — save it, ship it, "
+          "resume it):")
+    print(f"  {spec.to_json(indent=None)[:96]}...")
+    results = {}
+    for record, progress in iter_campaign(spec):
+        results[record.scenario.design] = record.result
+        print(f"  {progress} {record.scenario.label}: "
+              f"{record.result.total_cycles / 1e6:.0f}M cycles")
+    speedup = results["mokey"].speedup_over(results["tensor-cores"])
+    energy = results["mokey"].energy_efficiency_over(results["tensor-cores"])
+    print(f"  Mokey vs Tensor Cores: {speedup:.2f}x faster, "
+          f"{energy:.2f}x more energy-efficient")
 
 
 if __name__ == "__main__":

@@ -44,12 +44,19 @@ from repro.transformer.model import TransformerModel
 from repro.transformer import model_zoo
 from repro.schemes import QuantizationScheme, available_schemes, get_scheme, register_scheme
 from repro.experiments import (
+    AxisGrid,
+    CampaignSpec,
+    Enrichments,
+    ExecutionPolicy,
     FidelityResult,
     Scenario,
     evaluate_fidelity,
     expand_grid,
+    iter_campaign,
     run_campaign,
+    run_spec,
 )
+from repro.registry import Registry, RegistryError, get_registry, registry_kinds
 
 __version__ = "1.0.0"
 
@@ -74,5 +81,15 @@ __all__ = [
     "evaluate_fidelity",
     "expand_grid",
     "run_campaign",
+    "AxisGrid",
+    "CampaignSpec",
+    "Enrichments",
+    "ExecutionPolicy",
+    "iter_campaign",
+    "run_spec",
+    "Registry",
+    "RegistryError",
+    "get_registry",
+    "registry_kinds",
     "__version__",
 ]

@@ -87,6 +87,13 @@ class AcceleratorDesign:
 
         return get_scheme(self.datapath)
 
+    def summary(self) -> str:
+        """One-line human description (used by ``repro registry list designs``)."""
+        return (
+            f"{self.name}: {self.num_units} units, {self.datapath!r} datapath, "
+            f"w{self.weight_bits_offchip:g}b/a{self.activation_bits_offchip:g}b off-chip"
+        )
+
     @property
     def compute_area_mm2(self) -> float:
         """Total processing-element array area."""

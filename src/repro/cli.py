@@ -6,42 +6,62 @@ so repeated runs only simulate new grid points::
 
     repro campaign run --models bert-base bert-large --designs mokey \\
         --buffer-kb 256 512 --executor process
+    repro campaign run --spec spec.json --progress
+    repro campaign resume --spec spec.json   # skip already-persisted keys
     repro campaign run --paper-workloads --with-accuracy
     repro campaign run --models bert-base --with-measured-stats
     repro campaign report --design mokey --format csv
     repro campaign list
     repro campaign clean --yes
+    repro registry list              # the four pluggable-axis registries
+    repro registry list schemes      # one registry's entries, described
     repro table1                 # the paper's eight Table I fidelity rows
     repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
 
 (or ``python -m repro ...`` without installing the console script.)
 
-The store location is ``--store DIR``, the ``REPRO_STORE`` environment
-variable, or ``./.repro-store`` in that order of precedence.
+Axis flags and ``--spec FILE`` both build the same declarative
+:class:`~repro.experiments.spec.CampaignSpec`; with ``--spec`` the axis
+flags are ignored and the execution flags (``--executor``, ``--workers``,
+``--chunksize``, ``--store``) override the spec's execution policy.
+Results stream: each scenario is appended to the store the moment it
+completes, so an interrupted run (Ctrl-C, ``--limit``) is resumed by
+``repro campaign resume`` — or simply re-running — with persisted keys
+served from disk.
+
+The store location is ``--store DIR``, the spec's execution policy, the
+``REPRO_STORE`` environment variable, or ``./.repro-store`` in that order
+of precedence.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fidelity import joint_rows, table1_rows
 from repro.analysis.reporting import RECORD_FORMATS, format_records
 from repro.experiments import (
     EXECUTORS,
     ArtifactStore,
+    AxisGrid,
+    CampaignSpec,
+    Enrichments,
+    ExecutionPolicy,
     ResultCache,
     ScenarioRecord,
     UnsupportedSchemeError,
     available_designs,
-    expand_grid,
-    run_campaign,
+    iter_campaign,
+    run_spec,
     supported_accuracy_schemes,
     supports_accuracy,
 )
+from repro.registry import RegistryError, get_registry, registry_kinds
 from repro.schemes import available_schemes
 from repro.accelerator.workloads import TASK_SEQUENCE_LENGTHS
 from repro.transformer.model_zoo import MODEL_CONFIGS, PAPER_MODELS
@@ -122,10 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="simulate a scenario grid (store hits are not re-simulated)",
         description=(
-            "Expand the axis flags into a scenario grid and simulate it. "
-            "Results land in the artifact store; grid points already stored "
-            "are served from disk, so an identical second run simulates nothing."
+            "Expand the axis flags — or load a declarative --spec file — into "
+            "a scenario grid and simulate it, streaming each result into the "
+            "artifact store as it completes. Grid points already stored are "
+            "served from disk, so an identical second run simulates nothing."
         ),
+    )
+    run.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="load a CampaignSpec JSON file instead of the axis flags "
+        "(axis flags are ignored; execution flags override the spec's policy)",
+    )
+    run.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N records (everything emitted stays persisted; "
+        "'repro campaign resume' picks up where the run stopped)",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one streaming progress line per completed scenario to stderr",
     )
     run.add_argument(
         "--models",
@@ -179,8 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--executor",
         choices=EXECUTORS,
-        default="thread",
-        help="how to fan the grid out (process = fastest for large grids)",
+        default=None,
+        help="how to fan the grid out (process = fastest for large grids; "
+        "default: the spec's policy, else thread)",
     )
     run.add_argument(
         "--workers", type=int, default=None, metavar="N", help="pool width (default: automatic)"
@@ -211,6 +253,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_argument(run)
     _add_format_arguments(run)
 
+    resume = actions.add_parser(
+        "resume",
+        help="resume an interrupted spec-driven campaign from its store",
+        description=(
+            "Re-run a CampaignSpec against its artifact store: scenarios whose "
+            "keys are already persisted are served from disk, only the missing "
+            "ones simulate, and the final record set is bit-identical to an "
+            "uninterrupted run."
+        ),
+    )
+    resume.add_argument("--spec", required=True, metavar="FILE", help="CampaignSpec JSON file")
+    resume.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="override the spec's executor",
+    )
+    resume.add_argument(
+        "--workers", type=int, default=None, metavar="N", help="pool width (default: automatic)"
+    )
+    resume.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios per process-pool work item (process executor only)",
+    )
+    resume.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one streaming progress line per completed scenario to stderr",
+    )
+    _add_store_argument(resume)
+    _add_format_arguments(resume)
+
     report = actions.add_parser(
         "report",
         help="format stored records",
@@ -234,6 +311,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clean.add_argument("--yes", action="store_true", help="actually delete (no prompt)")
     _add_store_argument(clean)
+
+    registry = commands.add_parser(
+        "registry",
+        help="inspect the pluggable-axis registries",
+        description=(
+            "The unified registry surface: every pluggable axis of the "
+            "campaign grid (schemes, designs, models, tasks) behind one "
+            "names/get/describe protocol."
+        ),
+    )
+    registry_actions = registry.add_subparsers(dest="action", required=True)
+    registry_list = registry_actions.add_parser(
+        "list",
+        help="list all registries, or one registry's entries with descriptions",
+    )
+    registry_list.add_argument(
+        "kind",
+        nargs="?",
+        default=None,
+        help=f"registry kind to expand (choices: {', '.join(registry_kinds())})",
+    )
+    registry_list.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
 
     table1 = commands.add_parser(
         "table1",
@@ -308,53 +412,199 @@ def _emit(records_text: str, summary: str, output: Optional[str]) -> None:
         print(summary, file=sys.stderr)
 
 
-def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    _validate_run_axes(parser, args)
-    workloads = None
-    if args.paper_workloads:
-        workloads = [(model, task, seq) for (model, task, seq, _head) in PAPER_MODELS]
-    scenarios = expand_grid(
-        models=tuple(args.models),
-        tasks=tuple(args.tasks),
-        sequence_lengths=tuple(args.sequence_lengths),
-        batch_sizes=tuple(args.batch_sizes),
-        schemes=tuple(args.schemes),
-        designs=tuple(args.designs),
-        buffer_bytes=tuple(size * KB for size in args.buffer_kb),
-        workloads=workloads,
+def _load_spec(path: str) -> CampaignSpec:
+    try:
+        return CampaignSpec.load(path)
+    except OSError as exc:
+        print(f"error: cannot read spec {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except (json.JSONDecodeError, TypeError, ValueError) as exc:
+        print(f"error: spec {path!r} does not parse as a CampaignSpec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _spec_from_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign spec: from ``--spec FILE`` or the axis flags.
+
+    Execution flags (``--executor``/``--workers``/``--chunksize``) and the
+    enrichment flags override the spec's own policy either way.
+    """
+    if getattr(args, "spec", None):
+        spec = _load_spec(args.spec)
+    else:
+        _validate_run_axes(parser, args)
+        workloads = None
+        if args.paper_workloads:
+            workloads = tuple(
+                (model, task, seq) for (model, task, seq, _head) in PAPER_MODELS
+            )
+        spec = CampaignSpec(
+            name="cli",
+            axes=AxisGrid(
+                models=tuple(args.models),
+                tasks=tuple(args.tasks),
+                sequence_lengths=tuple(args.sequence_lengths),
+                batch_sizes=tuple(args.batch_sizes),
+                schemes=tuple(args.schemes),
+                designs=tuple(args.designs),
+                buffer_bytes=tuple(size * KB for size in args.buffer_kb),
+                workloads=workloads,
+            ),
+        )
+    execution_overrides = {}
+    if getattr(args, "executor", None) is not None:
+        execution_overrides["executor"] = args.executor
+    if getattr(args, "workers", None) is not None:
+        execution_overrides["max_workers"] = args.workers
+    if getattr(args, "chunksize", None) is not None:
+        execution_overrides["chunksize"] = args.chunksize
+    if execution_overrides:
+        spec = spec.with_execution(**execution_overrides)
+    enrichment_overrides = {}
+    if getattr(args, "with_accuracy", False):
+        enrichment_overrides["accuracy"] = True
+    if getattr(args, "with_measured_stats", False):
+        enrichment_overrides["measured"] = True
+    if enrichment_overrides:
+        spec = spec.with_enrichments(**enrichment_overrides)
+    return spec
+
+
+def _resolve_spec_store(args: argparse.Namespace, spec: CampaignSpec) -> CampaignSpec:
+    """Pin the spec's store: ``--store`` > spec policy > $REPRO_STORE > default.
+
+    ``--no-store`` clears it.  The returned spec is what actually runs —
+    the CLI drives ``iter_campaign`` purely through the execution policy,
+    so the spec's ``resume`` field is honoured exactly as in the library.
+    """
+    if getattr(args, "no_store", False):
+        return spec.with_execution(store=None)
+    return spec.with_execution(store=args.store or spec.execution.store or _default_store())
+
+
+def _stream_records(
+    spec: CampaignSpec,
+    limit: Optional[int] = None,
+    progress_to_stderr: bool = False,
+) -> Tuple[List[ScenarioRecord], Optional[object]]:
+    """Drain ``iter_campaign``, optionally stopping after ``limit`` records.
+
+    Everything emitted before the stop is already persisted (the engine
+    appends to the store before yielding), which is exactly what makes
+    ``--limit``/Ctrl-C resumable.
+    """
+    records: List[ScenarioRecord] = []
+    last_progress = None
+    events = iter_campaign(spec)
+    try:
+        for record, progress in events:
+            records.append(record)
+            last_progress = progress
+            if progress_to_stderr:
+                print(f"{progress} {record.scenario.label}", file=sys.stderr)
+            if limit is not None and progress.completed >= limit:
+                break
+    finally:
+        events.close()
+    return records, last_progress
+
+
+def _run_summary(
+    spec: CampaignSpec,
+    records: List[ScenarioRecord],
+    last_progress,
+    elapsed: float,
+) -> str:
+    simulated = sum(1 for record in records if not record.cached)
+    cached = len(records) - simulated
+    # The CLI builds a fresh cache per invocation (inside iter_campaign),
+    # so every cache hit on a resuming run came from the store; without a
+    # store — or with resume=false — nothing does.
+    store = spec.execution.store
+    from_store = cached if store is not None and spec.execution.resume else 0
+    total = last_progress.total if last_progress is not None else len(records)
+    summary = (
+        f"{len(records)} records: {simulated} simulated, "
+        f"{cached} cache hits "
+        f"({from_store} from store)"
+        + (
+            f", {last_progress.fidelity_evaluated} fidelity evaluated"
+            if spec.enrichments.accuracy and last_progress is not None
+            else ""
+        )
+        + (
+            f", {last_progress.measured_evaluated} layers measured"
+            if spec.enrichments.measured and last_progress is not None
+            else ""
+        )
+        + (f" (interrupted after {len(records)}/{total})" if len(records) < total else "")
+        + f" in {elapsed:.2f}s [executor={spec.execution.executor}"
+        + ("]" if store is None else f", store={store}]")
     )
-    store = None if args.no_store else ArtifactStore(args.store or _default_store())
-    cache = ResultCache(store=store)
+    return summary
+
+
+def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    spec = _resolve_spec_store(args, _spec_from_args(parser, args))
     started = time.perf_counter()
     try:
-        campaign = run_campaign(
-            scenarios,
-            max_workers=args.workers,
-            cache=cache,
-            executor=args.executor,
-            chunksize=args.chunksize,
-            with_accuracy=args.with_accuracy,
-            with_measured=args.with_measured_stats,
+        records, last_progress = _stream_records(
+            spec, limit=args.limit, progress_to_stderr=args.progress
         )
-    except UnsupportedSchemeError as exc:
+    except (UnsupportedSchemeError, RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    summary = _run_summary(spec, records, last_progress, elapsed)
+    _emit(format_records([r.to_row() for r in records], args.format), summary, args.output)
+    return 0
+
+
+def _cmd_resume(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    # Resuming is the whole point of this command, whatever the spec says.
+    spec = _resolve_spec_store(args, _spec_from_args(parser, args)).with_execution(resume=True)
+    already_stored = len(ArtifactStore(spec.execution.store))
+    started = time.perf_counter()
+    try:
+        records, last_progress = _stream_records(spec, progress_to_stderr=args.progress)
+    except (UnsupportedSchemeError, RegistryError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started
     summary = (
-        f"{len(campaign)} records: {campaign.simulated_count} simulated, "
-        f"{len(campaign) - campaign.simulated_count} cache hits "
-        f"({cache.store_hits} from store)"
-        + (f", {campaign.fidelity_evaluated} fidelity evaluated" if args.with_accuracy else "")
-        + (
-            f", {campaign.measured_evaluated} layers measured"
-            if args.with_measured_stats
-            else ""
-        )
-        + f" in {elapsed:.2f}s [executor={args.executor}"
-        + ("]" if store is None else f", store={store.root}]")
+        f"resumed from {already_stored} stored records: "
+        + _run_summary(spec, records, last_progress, elapsed)
     )
-    _emit(format_records(campaign.to_dicts(), args.format), summary, args.output)
+    _emit(format_records([r.to_row() for r in records], args.format), summary, args.output)
     return 0
+
+
+def _cmd_registry_list(args: argparse.Namespace) -> int:
+    try:
+        if args.kind is None:
+            if args.format == "json":
+                payload = {
+                    kind: list(get_registry(kind).names()) for kind in registry_kinds()
+                }
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                for kind in registry_kinds():
+                    registry = get_registry(kind)
+                    print(f"{kind} ({len(registry)}): {', '.join(registry.names())}")
+            return 0
+        registry = get_registry(args.kind)
+        descriptions = registry.describe()
+        if args.format == "json":
+            print(json.dumps(descriptions, indent=2, sort_keys=True))
+        else:
+            print(f"{registry.kind} registry — {len(registry)} entries")
+            width = max(len(name) for name in descriptions) if descriptions else 0
+            for name, description in descriptions.items():
+                print(f"  {name:<{width}}  {description}")
+        return 0
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -370,22 +620,27 @@ def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     # fidelity; the Tensor Cores baseline rides along hardware-only (its
     # fidelity is never read) so --joint can pair speedup/energy.
     scheme = None if args.scheme == "mokey" else args.scheme
-    workloads = [(model, task, seq) for (model, task, seq, _head) in PAPER_MODELS]
+    workloads = tuple((model, task, seq) for (model, task, seq, _head) in PAPER_MODELS)
     store = None if args.no_store else ArtifactStore(args.store or _default_store())
     cache = ResultCache(store=store)
+    execution = ExecutionPolicy(executor=args.executor, max_workers=args.workers)
     started = time.perf_counter()
-    target = run_campaign(
-        expand_grid(workloads=workloads, schemes=(scheme,), designs=("mokey",)),
-        max_workers=args.workers,
+    target = run_spec(
+        CampaignSpec(
+            name="table1",
+            axes=AxisGrid(workloads=workloads, schemes=(scheme,), designs=("mokey",)),
+            enrichments=Enrichments(accuracy=True),
+            execution=execution,
+        ),
         cache=cache,
-        executor=args.executor,
-        with_accuracy=True,
     )
-    baseline = run_campaign(
-        expand_grid(workloads=workloads, designs=("tensor-cores",)),
-        max_workers=args.workers,
+    baseline = run_spec(
+        CampaignSpec(
+            name="table1-baseline",
+            axes=AxisGrid(workloads=workloads, designs=("tensor-cores",)),
+            execution=execution,
+        ),
         cache=cache,
-        executor=args.executor,
     )
     elapsed = time.perf_counter() - started
     records = list(target) + list(baseline)
@@ -491,12 +746,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "campaign":
         if args.action == "run":
             return _cmd_run(parser, args)
+        if args.action == "resume":
+            return _cmd_resume(parser, args)
         if args.action == "report":
             return _cmd_report(parser, args)
         if args.action == "list":
             return _cmd_list(args)
         if args.action == "clean":
             return _cmd_clean(args)
+    if args.command == "registry":
+        return _cmd_registry_list(args)
     if args.command == "table1":
         return _cmd_table1(parser, args)
     parser.error(f"unknown command {args.command!r}")

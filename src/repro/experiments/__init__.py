@@ -16,9 +16,19 @@ share one sweep loop instead of each re-implementing it:
 * :class:`~repro.experiments.store.ArtifactStore` — content-addressed
   JSONL store persisting results across processes, so repeated campaigns
   only simulate new grid points;
-* :func:`~repro.experiments.campaign.run_campaign` — fans the scenarios
-  out over the chosen executor (``serial | thread | process``) and
-  returns structured :class:`~repro.experiments.campaign.ScenarioRecord`
+* :class:`~repro.experiments.spec.CampaignSpec` — the declarative front
+  door: a frozen, JSON-round-trippable experiment description (axes grid
+  + enrichments + execution policy) validated against the unified
+  registries (:mod:`repro.registry`);
+* :func:`~repro.experiments.spec.iter_campaign` — streams
+  ``(ScenarioRecord, CampaignProgress)`` events as scenarios complete,
+  appending each to the store incrementally so a killed campaign resumes
+  bit-identically by skipping persisted keys;
+* :func:`~repro.experiments.campaign.run_campaign` — the batch wrapper
+  (its enrichment/execution kwargs are deprecated in favour of specs):
+  fans the scenarios out over the chosen executor (``serial | thread |
+  process``) and returns structured
+  :class:`~repro.experiments.campaign.ScenarioRecord`
   rows consumable by :mod:`repro.analysis.reporting`;
 * :mod:`repro.experiments.accuracy` — the accuracy half of the paper's
   joint claim: ``run_campaign(..., with_accuracy=True)`` joins a
@@ -89,14 +99,24 @@ from repro.experiments.scenario import (
 )
 from repro.experiments.campaign import (
     EXECUTORS,
+    CampaignProgress,
     CampaignResult,
     ResultCache,
     ScenarioRecord,
     expand_grid,
     run_campaign,
     run_scenario,
+    stream_campaign,
 )
 from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, StoreEntry, scenario_key
+from repro.experiments.spec import (
+    AxisGrid,
+    CampaignSpec,
+    Enrichments,
+    ExecutionPolicy,
+    iter_campaign,
+    run_spec,
+)
 
 __all__ = [
     "DEFAULT_ACCURACY_SETTINGS",
@@ -122,14 +142,22 @@ __all__ = [
     "build_design",
     "register_design",
     "EXECUTORS",
+    "CampaignProgress",
     "CampaignResult",
     "ResultCache",
     "ScenarioRecord",
     "expand_grid",
     "run_campaign",
     "run_scenario",
+    "stream_campaign",
     "SCHEMA_VERSION",
     "ArtifactStore",
     "StoreEntry",
     "scenario_key",
+    "AxisGrid",
+    "CampaignSpec",
+    "Enrichments",
+    "ExecutionPolicy",
+    "iter_campaign",
+    "run_spec",
 ]

@@ -111,6 +111,12 @@ class AccuracySettings:
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data) -> "AccuracySettings":
+        """Rebuild settings from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in dict(data).items() if key in names})
+
     def digest(self) -> str:
         """Stable content digest of the settings.
 

@@ -1,14 +1,21 @@
-"""Campaign engine: grid expansion, cached simulation, parallel fan-out.
+"""Campaign engine: grid expansion, cached streaming simulation, fan-out.
 
-``run_campaign`` is the single sweep loop the benchmarks, examples and the
-``repro`` CLI share.  It takes a list of
+``stream_campaign`` is the single sweep loop the benchmarks, examples and
+the ``repro`` CLI share.  It takes a list of
 :class:`~repro.experiments.scenario.Scenario` points (usually from
 :func:`expand_grid`), simulates each — fanning out over the chosen
 executor (``serial``, ``thread`` or ``process``) and deduplicating through
 a :class:`ResultCache` keyed by scenario, optionally layered over an
-on-disk :class:`~repro.experiments.store.ArtifactStore` — and returns a
-:class:`CampaignResult` of structured records ready for
-:mod:`repro.analysis.reporting`.
+on-disk :class:`~repro.experiments.store.ArtifactStore` — and *streams*
+``(ScenarioRecord, CampaignProgress)`` events as scenarios complete, with
+each record appended to the backing store the moment it exists.  A killed
+campaign therefore resumes from the store by skipping already-persisted
+keys, bit-identical to an uninterrupted run.
+
+The declarative front door is :func:`repro.experiments.spec.iter_campaign`
+(a :class:`~repro.experiments.spec.CampaignSpec` in, the same streamed
+events out); :func:`run_campaign` remains as a thin batch wrapper whose
+legacy enrichment/execution kwargs are deprecated in favour of specs.
 """
 
 from __future__ import annotations
@@ -17,9 +24,21 @@ import functools
 import itertools
 import os
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.accelerator.metrics import SimulationResult
 from repro.accelerator.simulator import AcceleratorSimulator
@@ -51,11 +70,13 @@ _DEFAULT_MEASUREMENT_DIGEST = DEFAULT_MEASUREMENT_SETTINGS.digest()
 
 __all__ = [
     "EXECUTORS",
+    "CampaignProgress",
     "ResultCache",
     "ScenarioRecord",
     "CampaignResult",
     "expand_grid",
     "run_scenario",
+    "stream_campaign",
     "run_campaign",
 ]
 
@@ -351,6 +372,42 @@ class ScenarioRecord:
         }
 
 
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Where a streaming campaign stands after one record was emitted.
+
+    Attributes:
+        completed: Records emitted so far (including this one).
+        total: Records the campaign will emit in total.
+        simulated: How many of the completed records were freshly simulated.
+        cached: How many were cache/store hits (or in-run duplicates).
+        store_key: The content-addressed store key of the record just
+            emitted (see :func:`~repro.experiments.store.scenario_key`);
+            the key a resumed campaign would skip on.
+        fidelity_evaluated: Fidelity evaluations the campaign ran (joins
+            are resolved up front, so this is constant across events).
+        measured_evaluated: Measured-layer executions the campaign ran.
+    """
+
+    completed: int
+    total: int
+    simulated: int
+    cached: int
+    store_key: str
+    fidelity_evaluated: int = 0
+    measured_evaluated: int = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.completed}/{self.total}] "
+            f"{self.simulated} simulated, {self.cached} cached"
+        )
+
+
 class CampaignResult:
     """The records of one campaign plus cache statistics.
 
@@ -474,23 +531,37 @@ def run_scenario(
     )
 
 
-def _simulate_pending(
+def _stream_pending(
     pending: Sequence[Scenario],
     executor: str,
     max_workers: Optional[int],
     chunksize: Optional[int],
     simulator_factory: Optional[Callable[[Scenario], AcceleratorSimulator]],
-) -> List[SimulationResult]:
-    """Simulate ``pending`` under the chosen executor, preserving order."""
+) -> Iterator[SimulationResult]:
+    """Yield ``pending``'s results lazily, in order, under the chosen executor.
+
+    ``map`` on both pool executors returns results in submission order as
+    they become available, so the consumer can emit record ``k`` while
+    ``k+1`` is still simulating.  Closing the generator early (a killed
+    campaign) cancels every not-yet-started scenario and returns as soon
+    as the in-flight ones (at most the pool width, or one process chunk)
+    finish; their unconsumed results are discarded, not persisted.  With
+    the serial executor nothing past the last consumed scenario is ever
+    simulated — the executor of choice when interruption loss must be
+    zero.
+    """
     if simulator_factory is None:
         task = run_scenario
     else:
         task = functools.partial(run_scenario, simulator_factory=simulator_factory)
     if executor == "serial":
-        return [task(scenario) for scenario in pending]
+        for scenario in pending:
+            yield task(scenario)
+        return
     if executor == "thread":
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(task, pending))
+            yield from pool.map(task, pending)
+        return
     # Process: the simulator path is pure CPU-bound Python, so only real
     # processes escape the GIL.  Chunked dispatch amortises the per-item
     # pickling; map() preserves submission order, so records stay
@@ -499,7 +570,7 @@ def _simulate_pending(
         workers = max_workers or os.cpu_count() or 1
         chunksize = max(1, len(pending) // (workers * 4))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(task, pending, chunksize=chunksize))
+        yield from pool.map(task, pending, chunksize=chunksize)
 
 
 def _evaluate_accuracy_key(
@@ -652,7 +723,7 @@ def _resolve_measured(
     )
 
 
-def run_campaign(
+def stream_campaign(
     scenarios: Sequence[Scenario],
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -663,15 +734,26 @@ def run_campaign(
     accuracy_settings: Optional[AccuracySettings] = None,
     with_measured: bool = False,
     measurement_settings: Optional[MeasurementSettings] = None,
-) -> CampaignResult:
-    """Simulate every scenario, fanning out across the chosen executor.
+    write_store: Optional[Any] = None,
+) -> Iterator[Tuple[ScenarioRecord, CampaignProgress]]:
+    """Simulate every scenario, streaming ``(record, progress)`` events.
+
+    The streaming core of the campaign engine: joins (fidelity, measured
+    stats) are resolved up front — they depend only on scenario fields,
+    one evaluation per unique memo key — and the hardware simulations then
+    stream through the chosen executor in submission order.  Each record
+    is appended to the cache's backing store the moment its simulation
+    completes, *before* it is yielded, so a consumer that stops mid-grid
+    (kill, exception, ``break``) leaves every emitted record persisted; a
+    later run over the same store resumes by skipping those keys, and its
+    final record set is bit-identical to an uninterrupted run.
 
     Scenarios already present in ``cache`` (including duplicates within
     ``scenarios``) are not re-simulated; their records are marked
     ``cached=True``.
 
     Args:
-        scenarios: Grid points to run; record order follows this order.
+        scenarios: Grid points to run; event order follows this order.
         max_workers: Pool width (default: the executor's own heuristic).
         cache: Cross-campaign result cache; a fresh one is used if omitted.
             Construct with ``ResultCache(store=ArtifactStore(...))`` to
@@ -713,16 +795,71 @@ def run_campaign(
         measurement_settings: Parameters of the measured-layer execution;
             defaults to
             :data:`~repro.experiments.measured.DEFAULT_MEASUREMENT_SETTINGS`.
+        write_store: Optional write-only store: every freshly simulated
+            record is also appended here.  Used by the spec layer's
+            ``resume=False`` mode (re-simulate everything, persist anyway)
+            when the store is deliberately kept out of the lookup path.
     """
-    if executor not in EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r} (choose from {', '.join(EXECUTORS)})")
+    _check_cache_factory_combination(cache, simulator_factory)
+    return _stream_core(
+        scenarios,
+        max_workers=max_workers,
+        cache=cache if cache is not None else ResultCache(),
+        simulator_factory=simulator_factory,
+        executor=executor,
+        chunksize=chunksize,
+        with_accuracy=with_accuracy,
+        accuracy_settings=accuracy_settings,
+        with_measured=with_measured,
+        measurement_settings=measurement_settings,
+        write_store=write_store,
+    )
+
+
+def _check_cache_factory_combination(
+    cache: Optional[ResultCache],
+    simulator_factory: Optional[Callable[[Scenario], AcceleratorSimulator]],
+) -> None:
+    """Reject a *caller-provided* cache next to a custom simulator.
+
+    A fresh cache private to one run is always safe with a custom
+    simulator; a shared one is not — its entries are keyed by scenario
+    only and would mix results from different simulator configurations.
+    """
     if cache is not None and simulator_factory is not None:
         raise ValueError(
             "a shared cache cannot be combined with a custom simulator_factory: "
             "cache entries are keyed by scenario only and would mix results "
             "from different simulator configurations; use a dedicated cache"
         )
-    cache = cache if cache is not None else ResultCache()
+
+
+def _stream_core(
+    scenarios: Sequence[Scenario],
+    max_workers: Optional[int],
+    cache: ResultCache,
+    simulator_factory: Optional[Callable[[Scenario], AcceleratorSimulator]],
+    executor: str,
+    chunksize: Optional[int],
+    with_accuracy: bool,
+    accuracy_settings: Optional[AccuracySettings],
+    with_measured: bool,
+    measurement_settings: Optional[MeasurementSettings],
+    write_store: Optional[Any],
+) -> Iterator[Tuple[ScenarioRecord, CampaignProgress]]:
+    """The streaming engine behind :func:`stream_campaign`/:func:`run_campaign`.
+
+    Takes a concrete ``cache`` and performs no argument-combination
+    checks — callers own those (so :func:`run_campaign` can pair its
+    freshly created private cache with a custom simulator, which the
+    public :func:`stream_campaign` guard rejects for caller-provided
+    caches).
+    """
+    from repro.experiments.store import scenario_key  # local: store is a sibling
+
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (choose from {', '.join(EXECUTORS)})")
+    scenarios = list(scenarios)
     if with_accuracy:
         _validate_accuracy_support(scenarios)
 
@@ -730,7 +867,7 @@ def run_campaign(
     cached_flags: Dict[Scenario, bool] = {}
     pending: List[Scenario] = []
     for scenario in scenarios:
-        if scenario in resolved or scenario in cached_flags:
+        if scenario in cached_flags:
             continue
         hit = cache.lookup(scenario)
         if hit is not None:
@@ -740,68 +877,223 @@ def run_campaign(
             cached_flags[scenario] = False
             pending.append(scenario)
 
-    if pending:
-        outcomes = _simulate_pending(pending, executor, max_workers, chunksize, simulator_factory)
-        for scenario, result in zip(pending, outcomes):
-            resolved[scenario] = result
-
+    # Joins depend only on scenario fields, never on simulation results,
+    # so they resolve before anything simulates: every yielded record is
+    # complete, and a consumer that stops early loses no join work for
+    # records it never asked for.
     fidelities: Dict[Scenario, FidelityResult] = {}
     fidelity_evaluated = 0
     measured: Dict[Scenario, MeasuredStats] = {}
     measured_evaluated = 0
+    unique_scenarios = list(cached_flags)
+    if with_accuracy:
+        fidelities, fidelity_evaluated = _resolve_fidelities(
+            unique_scenarios, cache, executor, max_workers, accuracy_settings
+        )
+    if with_measured:
+        measured, measured_evaluated = _resolve_measured(
+            unique_scenarios, cache, executor, max_workers, measurement_settings
+        )
+
+    outcomes = _stream_pending(pending, executor, max_workers, chunksize, simulator_factory)
+    total = len(scenarios)
+    completed = simulated = cached_count = 0
+    emitted: Dict[Scenario, ScenarioRecord] = {}
     try:
-        if with_accuracy:
-            fidelities, fidelity_evaluated = _resolve_fidelities(
-                list(resolved), cache, executor, max_workers, accuracy_settings
-            )
-        if with_measured:
-            measured, measured_evaluated = _resolve_measured(
-                list(resolved), cache, executor, max_workers, measurement_settings
+        for scenario in scenarios:
+            if scenario in emitted:
+                # A later duplicate of an in-run scenario reuses the first
+                # record's result, so it counts as a cache reuse.
+                record = ScenarioRecord(
+                    scenario=scenario,
+                    result=emitted[scenario].result,
+                    cached=True,
+                    fidelity=fidelities.get(scenario),
+                    measured=measured.get(scenario),
+                )
+                cached_count += 1
+            elif cached_flags[scenario]:
+                result = resolved[scenario]
+                if with_accuracy or with_measured:
+                    # One store call carrying every join: a joint campaign
+                    # appends a single upgrade line per record, not one
+                    # per join.
+                    cache.store(
+                        scenario,
+                        result,
+                        fidelity=fidelities.get(scenario),
+                        measured=measured.get(scenario),
+                    )
+                record = ScenarioRecord(
+                    scenario=scenario,
+                    result=result,
+                    cached=True,
+                    fidelity=fidelities.get(scenario),
+                    measured=measured.get(scenario),
+                )
+                cached_count += 1
+            else:
+                result = next(outcomes)
+                resolved[scenario] = result
+                cache.store(
+                    scenario,
+                    result,
+                    fidelity=fidelities.get(scenario),
+                    measured=measured.get(scenario),
+                )
+                if write_store is not None:
+                    write_store.put(
+                        scenario,
+                        result,
+                        fidelity=fidelities.get(scenario),
+                        measured=measured.get(scenario),
+                    )
+                record = ScenarioRecord(
+                    scenario=scenario,
+                    result=result,
+                    cached=False,
+                    fidelity=fidelities.get(scenario),
+                    measured=measured.get(scenario),
+                )
+                simulated += 1
+            emitted[scenario] = record
+            completed += 1
+            yield record, CampaignProgress(
+                completed=completed,
+                total=total,
+                simulated=simulated,
+                cached=cached_count,
+                store_key=scenario_key(scenario),
+                fidelity_evaluated=fidelity_evaluated,
+                measured_evaluated=measured_evaluated,
             )
     finally:
-        # Persist even if fidelity/measured resolution raises: freshly
-        # simulated hardware results are never thrown away.  On success
-        # each pending scenario lands with its joins in one record;
-        # store-hit scenarios that predate a join get their record
-        # upgraded in place.
-        for scenario in pending:
-            cache.store(
-                scenario,
-                resolved[scenario],
-                fidelity=fidelities.get(scenario),
-                measured=measured.get(scenario),
-            )
-    for scenario, was_cached in cached_flags.items():
-        if not was_cached:
-            continue
-        if with_accuracy or with_measured:
-            # One store call carrying every join: a joint campaign appends
-            # a single upgrade line per record, not one per join.
-            cache.store(
-                scenario,
-                resolved[scenario],
-                fidelity=fidelities.get(scenario),
-                measured=measured.get(scenario),
-            )
+        outcomes.close()
 
-    records = []
-    seen: set = set()
-    for s in scenarios:
-        # Later duplicates of an in-run scenario reuse the first record's
-        # result, so they count as cache reuses too.
-        records.append(
-            ScenarioRecord(
-                scenario=s,
-                result=resolved[s],
-                cached=cached_flags[s] or s in seen,
-                fidelity=fidelities.get(s),
-                measured=measured.get(s),
-            )
+
+# --------------------------------------------------------------------------- #
+# Legacy batch entry point
+# --------------------------------------------------------------------------- #
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit default.
+_UNSET: Any = object()
+
+#: run_campaign kwargs superseded by the CampaignSpec API, mapped to the
+#: spec component and field that replaces each.  Passing any of them warns
+#: once per process.
+_LEGACY_KWARG_SPEC_FIELDS = {
+    "executor": ("execution", "executor"),
+    "chunksize": ("execution", "chunksize"),
+    "with_accuracy": ("enrichments", "accuracy"),
+    "accuracy_settings": ("enrichments", "accuracy_settings"),
+    "with_measured": ("enrichments", "measured"),
+    "measurement_settings": ("enrichments", "measurement_settings"),
+}
+
+_legacy_kwargs_warned = False
+
+
+def _reset_legacy_kwarg_warning() -> None:
+    """Re-arm the once-per-process deprecation warning (tests only)."""
+    global _legacy_kwargs_warned
+    _legacy_kwargs_warned = False
+
+
+def _spec_equivalent_snippet(passed: Dict[str, Any]) -> str:
+    """A CampaignSpec construction equivalent to the passed legacy kwargs."""
+    parts: Dict[str, List[str]] = {"enrichments": [], "execution": []}
+    for name in sorted(passed):
+        component, field_name = _LEGACY_KWARG_SPEC_FIELDS[name]
+        value = passed[name]
+        shown = repr(value) if isinstance(value, (bool, int, str, type(None))) else "..."
+        parts[component].append(f"{field_name}={shown}")
+    lines = ["    spec = CampaignSpec(", "        axes=AxisGrid(...),  # your expand_grid axes"]
+    if parts["enrichments"]:
+        lines.append(f"        enrichments=Enrichments({', '.join(parts['enrichments'])}),")
+    if parts["execution"]:
+        lines.append(f"        execution=ExecutionPolicy({', '.join(parts['execution'])}),")
+    lines.append("    )")
+    lines.append("    for record, progress in iter_campaign(spec): ...")
+    return "\n".join(lines)
+
+
+def _warn_legacy_kwargs(passed: Dict[str, Any]) -> None:
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        f"run_campaign({', '.join(sorted(passed))}=...) kwargs are deprecated; "
+        f"declare the campaign as a spec instead:\n"
+        f"{_spec_equivalent_snippet(passed)}\n"
+        f"(behaviour is unchanged; this warning fires once per process)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    simulator_factory: Callable[[Scenario], AcceleratorSimulator] = None,
+    executor: Any = _UNSET,
+    chunksize: Any = _UNSET,
+    with_accuracy: Any = _UNSET,
+    accuracy_settings: Any = _UNSET,
+    with_measured: Any = _UNSET,
+    measurement_settings: Any = _UNSET,
+) -> CampaignResult:
+    """Batch wrapper over :func:`stream_campaign`: drain, then return.
+
+    Behaviour, record order and store contents are identical to draining
+    the stream (goldens lock this); only the streaming events are lost.
+    The enrichment/execution kwargs (``executor``, ``chunksize``,
+    ``with_accuracy``, ``accuracy_settings``, ``with_measured``,
+    ``measurement_settings``) are deprecated in favour of the declarative
+    :class:`~repro.experiments.spec.CampaignSpec` API — they keep working
+    verbatim but emit a one-time :class:`DeprecationWarning` naming the
+    spec field that replaces them.  ``max_workers``, ``cache`` and
+    ``simulator_factory`` are runtime injection points, not experiment
+    description, and stay first-class.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("executor", executor),
+            ("chunksize", chunksize),
+            ("with_accuracy", with_accuracy),
+            ("accuracy_settings", accuracy_settings),
+            ("with_measured", with_measured),
+            ("measurement_settings", measurement_settings),
         )
-        seen.add(s)
+        if value is not _UNSET
+    }
+    if legacy:
+        _warn_legacy_kwargs(legacy)
+    _check_cache_factory_combination(cache, simulator_factory)
+    records: List[ScenarioRecord] = []
+    progress: Optional[CampaignProgress] = None
+    cache = cache if cache is not None else ResultCache()
+    for record, progress in _stream_core(
+        scenarios,
+        max_workers=max_workers,
+        cache=cache,
+        simulator_factory=simulator_factory,
+        executor=executor if executor is not _UNSET else "thread",
+        chunksize=chunksize if chunksize is not _UNSET else None,
+        with_accuracy=with_accuracy if with_accuracy is not _UNSET else False,
+        accuracy_settings=accuracy_settings if accuracy_settings is not _UNSET else None,
+        with_measured=with_measured if with_measured is not _UNSET else False,
+        measurement_settings=(
+            measurement_settings if measurement_settings is not _UNSET else None
+        ),
+        write_store=None,
+    ):
+        records.append(record)
     return CampaignResult(
         records,
         cache,
-        fidelity_evaluated=fidelity_evaluated,
-        measured_evaluated=measured_evaluated,
+        fidelity_evaluated=progress.fidelity_evaluated if progress else 0,
+        measured_evaluated=progress.measured_evaluated if progress else 0,
     )

@@ -65,6 +65,12 @@ class MeasurementSettings:
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data) -> "MeasurementSettings":
+        """Rebuild settings from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in dict(data).items() if key in names})
+
     def digest(self) -> str:
         """Stable content digest, stamped into every :class:`MeasuredStats`."""
         blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

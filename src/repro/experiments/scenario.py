@@ -59,8 +59,14 @@ def build_design(name: str) -> AcceleratorDesign:
     try:
         factory = DESIGN_FACTORIES[name]
     except KeyError:
+        import difflib
+
+        matches = difflib.get_close_matches(str(name), list(DESIGN_FACTORIES), n=1, cutoff=0.6)
+        hint = f" — did you mean {matches[0]!r}?" if matches else ""
         known = ", ".join(available_designs()) or "none"
-        raise ValueError(f"unknown design {name!r} (registered designs: {known})") from None
+        raise ValueError(
+            f"unknown design {name!r}{hint} (registered designs: {known})"
+        ) from None
     return factory()
 
 

@@ -1,0 +1,472 @@
+"""Declarative, JSON-round-trippable campaign specifications.
+
+A :class:`CampaignSpec` is the full description of one experiment sweep as
+a frozen value: the axes grid (:class:`AxisGrid`), which joins to compute
+(:class:`Enrichments`) and how to execute (:class:`ExecutionPolicy`).
+Because the spec is plain data — ``spec.to_json()`` /
+``CampaignSpec.from_json(...)`` round-trip exactly — an experiment can be
+committed to a repo, shipped to a worker fleet, re-run bit-identically
+months later, and resumed after a kill from its on-disk store.
+
+The streaming entry point is :func:`iter_campaign`::
+
+    from repro.experiments import AxisGrid, CampaignSpec, ExecutionPolicy, iter_campaign
+
+    spec = CampaignSpec(
+        name="buffer-sweep",
+        axes=AxisGrid(
+            workloads=(("bert-large", "squad", None),),
+            designs=("tensor-cores", "gobo", "mokey"),
+            buffer_bytes=(256 * 1024, 1024 * 1024),
+        ),
+        execution=ExecutionPolicy(executor="process", store="./.repro-store"),
+    )
+    for record, progress in iter_campaign(spec):
+        print(progress, record.scenario.label)
+
+Every scenario is appended to the policy's store the moment it completes,
+so a killed campaign resumes by re-running the same spec: persisted keys
+are skipped (``resume=True``, the default) and the final record set —
+store keys and digests — is bit-identical to an uninterrupted run.
+:func:`run_spec` is the batch convenience (drain, return a
+:class:`~repro.experiments.campaign.CampaignResult`).
+
+Validation happens against the unified registry surface
+(:mod:`repro.registry`): every model, task, scheme and design name on the
+grid must be registered, and an unknown name raises a
+:class:`~repro.registry.RegistryError` naming the registry and its
+nearest match *before* anything simulates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.accuracy import AccuracySettings
+from repro.experiments.campaign import (
+    EXECUTORS,
+    CampaignProgress,
+    CampaignResult,
+    ResultCache,
+    ScenarioRecord,
+    expand_grid,
+    stream_campaign,
+)
+from repro.experiments.measured import MeasurementSettings
+from repro.experiments.scenario import KB, Scenario
+from repro.experiments.store import ArtifactStore
+
+__all__ = [
+    "AxisGrid",
+    "Enrichments",
+    "ExecutionPolicy",
+    "CampaignSpec",
+    "iter_campaign",
+    "run_spec",
+]
+
+WorkloadTriple = Tuple[str, str, Optional[int]]
+
+
+def _tuple_or_none(values: Optional[Sequence[Any]]) -> Optional[Tuple[Any, ...]]:
+    return None if values is None else tuple(values)
+
+
+@dataclass(frozen=True)
+class AxisGrid:
+    """The swept axes of a campaign; expands to the scenario list.
+
+    Mirrors :func:`~repro.experiments.campaign.expand_grid`: the first
+    three axes cross with each other unless :attr:`workloads` pins
+    explicit ``(model, task, sequence_length)`` triples (the paper's
+    Table I pairs are not a full cross product), and every workload then
+    crosses with batch sizes × schemes × designs × buffer sizes.
+
+    Attributes:
+        models, tasks, sequence_lengths: Workload axes (``None`` sequence
+            length = the task's default).
+        batch_sizes: Batch axis.
+        schemes: Scheme overrides (``None`` = the design's own scheme).
+        designs: Registered design names.
+        buffer_bytes: On-chip buffer capacity axis.
+        workloads: Optional explicit workload triples replacing the cross
+            product of the first three axes.
+    """
+
+    models: Tuple[str, ...] = ("bert-base",)
+    tasks: Tuple[str, ...] = ("mnli",)
+    sequence_lengths: Tuple[Optional[int], ...] = (None,)
+    batch_sizes: Tuple[int, ...] = (1,)
+    schemes: Tuple[Optional[str], ...] = (None,)
+    designs: Tuple[str, ...] = ("mokey",)
+    buffer_bytes: Tuple[int, ...] = (512 * KB,)
+    workloads: Optional[Tuple[WorkloadTriple, ...]] = None
+
+    def __post_init__(self) -> None:
+        # Normalise sequences (JSON lists, generator output) to tuples so
+        # the grid is hashable and from_dict(to_dict()) round-trips to
+        # equality.
+        for name in ("models", "tasks", "sequence_lengths", "batch_sizes",
+                     "schemes", "designs", "buffer_bytes"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if self.workloads is not None:
+            object.__setattr__(
+                self, "workloads", tuple(tuple(triple) for triple in self.workloads)
+            )
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the axes into the full scenario list."""
+        return expand_grid(
+            models=self.models,
+            tasks=self.tasks,
+            sequence_lengths=self.sequence_lengths,
+            batch_sizes=self.batch_sizes,
+            schemes=self.schemes,
+            designs=self.designs,
+            buffer_bytes=self.buffer_bytes,
+            workloads=self.workloads,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "models": list(self.models),
+            "tasks": list(self.tasks),
+            "sequence_lengths": list(self.sequence_lengths),
+            "batch_sizes": list(self.batch_sizes),
+            "schemes": list(self.schemes),
+            "designs": list(self.designs),
+            "buffer_bytes": list(self.buffer_bytes),
+            "workloads": (
+                None if self.workloads is None else [list(t) for t in self.workloads]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AxisGrid":
+        """Rebuild from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in dict(data).items() if key in names}
+        if kwargs.get("workloads") is not None:
+            kwargs["workloads"] = tuple(tuple(triple) for triple in kwargs["workloads"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Enrichments:
+    """Which joins a campaign computes next to the hardware results.
+
+    Attributes:
+        accuracy: Join a :class:`~repro.experiments.accuracy.FidelityResult`
+            to every record (memoised per ``(model, task, scheme)``).
+        measured: Join a :class:`~repro.experiments.measured.MeasuredStats`
+            (memoised per ``(model, seq, batch)``).
+        accuracy_settings: Parameters of the fidelity evaluation; ``None``
+            uses :data:`~repro.experiments.accuracy.DEFAULT_ACCURACY_SETTINGS`.
+        measurement_settings: Parameters of the measured-layer execution;
+            ``None`` uses
+            :data:`~repro.experiments.measured.DEFAULT_MEASUREMENT_SETTINGS`.
+    """
+
+    accuracy: bool = False
+    measured: bool = False
+    accuracy_settings: Optional[AccuracySettings] = None
+    measurement_settings: Optional[MeasurementSettings] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "accuracy": bool(self.accuracy),
+            "measured": bool(self.measured),
+            "accuracy_settings": (
+                None if self.accuracy_settings is None else self.accuracy_settings.to_dict()
+            ),
+            "measurement_settings": (
+                None
+                if self.measurement_settings is None
+                else self.measurement_settings.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Enrichments":
+        """Rebuild from :meth:`to_dict` output, ignoring unknown keys."""
+        raw_accuracy = data.get("accuracy_settings")
+        raw_measurement = data.get("measurement_settings")
+        return cls(
+            accuracy=bool(data.get("accuracy", False)),
+            measured=bool(data.get("measured", False)),
+            accuracy_settings=(
+                None if raw_accuracy is None else AccuracySettings.from_dict(raw_accuracy)
+            ),
+            measurement_settings=(
+                None
+                if raw_measurement is None
+                else MeasurementSettings.from_dict(raw_measurement)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a campaign executes: fan-out, persistence and resume semantics.
+
+    Attributes:
+        executor: ``"serial"`` / ``"thread"`` / ``"process"`` (see
+            :func:`~repro.experiments.campaign.stream_campaign`).
+        max_workers: Pool width (``None`` = the executor's heuristic).
+        chunksize: Scenarios per process-pool work item (process only).
+        store: Artifact-store directory; ``None`` keeps everything in
+            memory.  With a store, every completed scenario is appended
+            incrementally, making the campaign killable and resumable.
+        resume: When the store already holds a scenario's key, serve it
+            from disk instead of re-simulating (the default).  With
+            ``resume=False`` the store is kept out of the lookup path —
+            everything re-simulates — but fresh results still persist.
+    """
+
+    executor: str = "thread"
+    max_workers: Optional[int] = None
+    chunksize: Optional[int] = None
+    store: Optional[str] = None
+    resume: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "chunksize": self.chunksize,
+            "store": self.store,
+            "resume": bool(self.resume),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        """Rebuild from :meth:`to_dict` output, ignoring unknown keys."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in dict(data).items() if key in names})
+
+
+#: Schema version of the serialized spec form.  Bump on incompatible
+#: changes to the JSON layout; older specs are still accepted as long as
+#: their fields parse (unknown fields are ignored in both directions).
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One experiment, fully described as a frozen, serializable value.
+
+    Attributes:
+        name: Human label; appears in progress output and filenames only
+            (two specs differing only by name run identical campaigns).
+        axes: The swept grid (:class:`AxisGrid`).
+        enrichments: Joins to compute (:class:`Enrichments`).
+        execution: Fan-out/persistence policy (:class:`ExecutionPolicy`).
+    """
+
+    name: str = "campaign"
+    axes: AxisGrid = field(default_factory=AxisGrid)
+    enrichments: Enrichments = field(default_factory=Enrichments)
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> "CampaignSpec":
+        """Check every name on the grid against the unified registries.
+
+        Raises :class:`~repro.registry.RegistryError` for unknown model /
+        task / scheme / design names (naming the registry and its nearest
+        match) and ``ValueError`` for malformed numeric axes or an unknown
+        executor — all before anything simulates.  Returns ``self`` so it
+        chains: ``iter_campaign(spec.validate())``.
+        """
+        from repro import registry  # deferred: registry imports this package
+
+        axes = self.axes
+        if axes.workloads is not None:
+            for triple in axes.workloads:
+                if len(triple) != 3:
+                    raise ValueError(
+                        f"workload triple {triple!r} must be (model, task, sequence_length)"
+                    )
+            models = [model for model, _task, _seq in axes.workloads]
+            tasks = [task for _model, task, _seq in axes.workloads]
+            seqs = [seq for _model, _task, seq in axes.workloads]
+        else:
+            models, tasks, seqs = list(axes.models), list(axes.tasks), list(axes.sequence_lengths)
+        for model in models:
+            registry.MODELS.get(model)
+        for task in tasks:
+            registry.TASKS.get(task)
+        for scheme in axes.schemes:
+            if scheme is not None:
+                registry.SCHEMES.get(scheme)
+        for design in axes.designs:
+            registry.DESIGNS.get(design)
+        for seq in seqs:
+            if seq is not None and (not isinstance(seq, int) or seq <= 0):
+                raise ValueError(f"sequence lengths must be positive or None, got {seq!r}")
+        for label, values in (("batch_sizes", axes.batch_sizes),
+                              ("buffer_bytes", axes.buffer_bytes)):
+            for value in values:
+                if not isinstance(value, int) or value <= 0:
+                    raise ValueError(f"{label} must be positive integers, got {value!r}")
+        if self.execution.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.execution.executor!r} "
+                f"(choose from {', '.join(EXECUTORS)})"
+            )
+        return self
+
+    def scenarios(self) -> List[Scenario]:
+        """The expanded scenario list of :attr:`axes`."""
+        return self.axes.scenarios()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested mapping; inverse of :meth:`from_dict`."""
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "axes": self.axes.to_dict(),
+            "enrichments": self.enrichments.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output, ignoring unknown keys."""
+        return cls(
+            name=str(data.get("name", "campaign")),
+            axes=AxisGrid.from_dict(data.get("axes") or {}),
+            enrichments=Enrichments.from_dict(data.get("enrichments") or {}),
+            execution=ExecutionPolicy.from_dict(data.get("execution") or {}),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- derivation ------------------------------------------------------
+
+    def with_execution(self, **changes: Any) -> "CampaignSpec":
+        """A copy with :class:`ExecutionPolicy` fields replaced."""
+        return replace(self, execution=replace(self.execution, **changes))
+
+    def with_enrichments(self, **changes: Any) -> "CampaignSpec":
+        """A copy with :class:`Enrichments` fields replaced."""
+        return replace(self, enrichments=replace(self.enrichments, **changes))
+
+
+def _policy_cache(policy: ExecutionPolicy) -> Tuple[ResultCache, Optional[ArtifactStore]]:
+    """Build the cache (and possibly a write-only store) the policy asks for."""
+    if policy.store is None:
+        return ResultCache(), None
+    store = ArtifactStore(policy.store)
+    if policy.resume:
+        return ResultCache(store=store), None
+    # resume=False: keep the store out of the lookup path (everything
+    # re-simulates) but still persist what this run produces.
+    return ResultCache(), store
+
+
+def iter_campaign(
+    spec: CampaignSpec,
+    cache: Optional[ResultCache] = None,
+    simulator_factory: Any = None,
+) -> Iterator[Tuple[ScenarioRecord, CampaignProgress]]:
+    """Stream one declarative campaign: validate, expand, simulate, yield.
+
+    Yields ``(record, progress)`` as scenarios complete, in grid order.
+    Each record is appended to the policy's store before it is yielded,
+    so a consumer that stops mid-grid (kill, ``break``, exception) loses
+    nothing already emitted; re-running the same spec resumes from the
+    store, skipping persisted keys, and ends with a record set
+    bit-identical to an uninterrupted run.
+
+    Args:
+        spec: The campaign description; validated against the unified
+            registries before anything simulates.
+        cache: Override the cache the execution policy would build (e.g.
+            to share one in-memory cache across specs in tests).  When
+            given, the policy's ``store``/``resume`` fields are ignored —
+            the cache's own backing store governs persistence.
+        simulator_factory: As for
+            :func:`~repro.experiments.campaign.stream_campaign`.  Results
+            produced under a custom simulator must never mix into a
+            shared store (they are keyed by scenario only), so a policy
+            ``store`` — or an explicit ``cache`` — is rejected alongside
+            it.
+    """
+    cache, events = _prepare_stream(spec, cache, simulator_factory)
+    return events
+
+
+def run_spec(
+    spec: CampaignSpec,
+    cache: Optional[ResultCache] = None,
+) -> CampaignResult:
+    """Drain :func:`iter_campaign` into a batch :class:`CampaignResult`."""
+    cache, events = _prepare_stream(spec, cache, None)
+    records: List[ScenarioRecord] = []
+    progress: Optional[CampaignProgress] = None
+    for record, progress in events:
+        records.append(record)
+    return CampaignResult(
+        records,
+        cache,
+        fidelity_evaluated=progress.fidelity_evaluated if progress else 0,
+        measured_evaluated=progress.measured_evaluated if progress else 0,
+    )
+
+
+def _prepare_stream(
+    spec: CampaignSpec,
+    cache: Optional[ResultCache],
+    simulator_factory: Any,
+) -> Tuple[ResultCache, Iterator[Tuple[ScenarioRecord, CampaignProgress]]]:
+    """Validate, resolve the policy's cache/store, and open the stream.
+
+    The single body behind :func:`iter_campaign` and :func:`run_spec`, so
+    the two paths cannot drift.  Validation runs before any store object
+    exists.
+    """
+    spec.validate()
+    if simulator_factory is not None and (cache is not None or spec.execution.store is not None):
+        raise ValueError(
+            "a custom simulator_factory cannot be combined with a cache or a "
+            "policy store: persisted entries are keyed by scenario only and "
+            "would mix results from different simulator configurations"
+        )
+    write_store = None
+    if cache is None:
+        cache, write_store = _policy_cache(spec.execution)
+    policy = spec.execution
+    events = stream_campaign(
+        spec.scenarios(),
+        max_workers=policy.max_workers,
+        cache=None if simulator_factory is not None else cache,
+        simulator_factory=simulator_factory,
+        executor=policy.executor,
+        chunksize=policy.chunksize,
+        with_accuracy=spec.enrichments.accuracy,
+        accuracy_settings=spec.enrichments.accuracy_settings,
+        with_measured=spec.enrichments.measured,
+        measurement_settings=spec.enrichments.measurement_settings,
+        write_store=write_store,
+    )
+    return cache, events

@@ -155,6 +155,13 @@ class QuantizationScheme(abc.ABC):
     def layer_compute(self, workload: "Workload", design: "AcceleratorDesign") -> ComputePhase:
         """Cycles and energy for the compute of one encoder layer."""
 
+    def describe(self) -> str:
+        """One-line human description (used by ``repro registry list schemes``)."""
+        return (
+            f"{type(self).__name__}: w{self.weight_bits:g}b/a{self.activation_bits:g}b "
+            f"numerics + accelerator cost model"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
 
@@ -191,8 +198,14 @@ def get_scheme(name: str) -> QuantizationScheme:
     try:
         return _REGISTRY[name]
     except KeyError:
+        import difflib
+
+        matches = difflib.get_close_matches(str(name), list(_REGISTRY), n=1, cutoff=0.6)
+        hint = f" — did you mean {matches[0]!r}?" if matches else ""
         known = ", ".join(sorted(_REGISTRY)) or "none"
-        raise ValueError(f"unknown datapath {name!r} (registered schemes: {known})") from None
+        raise ValueError(
+            f"unknown datapath {name!r}{hint} (registered schemes: {known})"
+        ) from None
 
 
 def available_schemes() -> Tuple[str, ...]:

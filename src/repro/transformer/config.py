@@ -63,6 +63,14 @@ class TransformerConfig:
         """Bytes used to store one parameter or activation value."""
         return 2 if self.dtype == "float16" else 4
 
+    def summary(self) -> str:
+        """One-line human description (used by ``repro registry list models``)."""
+        return (
+            f"{self.num_layers} layers, hidden {self.hidden_size}, "
+            f"{self.num_heads} heads, vocab {self.vocab_size}"
+            + (", disentangled attention" if self.disentangled_attention else "")
+        )
+
     def parameter_count(self) -> int:
         """Total parameter count (weights + biases + embeddings).
 

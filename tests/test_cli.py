@@ -285,6 +285,142 @@ class TestTable1:
         assert len(err.strip().splitlines()) == 1
 
 
+class TestSpecDrivenRun:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        from repro.experiments import AxisGrid, CampaignSpec, ExecutionPolicy
+
+        spec = CampaignSpec(
+            name="cli-spec",
+            axes=AxisGrid(
+                models=("bert-base",),
+                designs=("mokey", "tensor-cores"),
+                buffer_bytes=(512 * 1024,),
+            ),
+            execution=ExecutionPolicy(
+                executor="serial", store=str(tmp_path / "spec-store")
+            ),
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        return str(path)
+
+    def test_run_spec_uses_the_policy_store(self, spec_file, tmp_path, capsys):
+        code, _out, err = run_cli(["campaign", "run", "--spec", spec_file], capsys)
+        assert code == 0
+        assert "2 simulated" in err
+        assert "executor=serial" in err
+        assert str(tmp_path / "spec-store") in err
+        # Identical second run resolves everything from the spec's store.
+        code, _out, err = run_cli(["campaign", "run", "--spec", spec_file], capsys)
+        assert code == 0
+        assert "0 simulated" in err
+
+    def test_limit_interrupts_and_resume_completes_bit_identically(
+        self, spec_file, tmp_path, capsys
+    ):
+        from repro.experiments import ArtifactStore
+
+        code, _out, err = run_cli(
+            ["campaign", "run", "--spec", spec_file, "--limit", "1", "--progress"], capsys
+        )
+        assert code == 0
+        assert "1 simulated" in err
+        assert "interrupted after 1/2" in err
+        assert "[1/2]" in err  # --progress streamed a line
+        assert len(ArtifactStore(tmp_path / "spec-store")) == 1
+
+        code, _out, err = run_cli(["campaign", "resume", "--spec", spec_file], capsys)
+        assert code == 0
+        assert "resumed from 1 stored records" in err
+        assert "1 simulated" in err and "1 cache hits (1 from store)" in err
+        assert len(ArtifactStore(tmp_path / "spec-store")) == 2
+
+    def test_execution_flags_override_the_spec_policy(self, spec_file, tmp_path, capsys):
+        code, _out, err = run_cli(
+            [
+                "campaign", "run",
+                "--spec", spec_file,
+                "--executor", "thread",
+                "--store", str(tmp_path / "override-store"),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "executor=thread" in err
+        assert str(tmp_path / "override-store") in err
+        assert not (tmp_path / "spec-store").exists()
+
+    def test_spec_with_unknown_design_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"axes": {"designs": ["mokeyy"]}}))
+        code, _out, err = run_cli(
+            ["campaign", "run", "--spec", str(path), "--no-store"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'mokey'?" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unreadable_spec_is_a_usage_error_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--spec", str(path), "--no-store"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--spec", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+
+    def test_spec_resume_false_resimulates_through_the_cli(self, tmp_path, capsys):
+        spec = {
+            "axes": {"models": ["bert-base"], "designs": ["mokey"]},
+            "execution": {
+                "executor": "serial",
+                "store": str(tmp_path / "store"),
+                "resume": False,
+            },
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        for _ in range(2):  # second run must NOT serve from the store
+            code, _out, err = run_cli(["campaign", "run", "--spec", str(path)], capsys)
+            assert code == 0
+            assert "1 simulated, 0 cache hits (0 from store)" in err
+        from repro.experiments import ArtifactStore
+
+        assert len(ArtifactStore(tmp_path / "store")) == 1  # but it did persist
+
+
+class TestRegistryList:
+    def test_lists_all_kinds(self, capsys):
+        code, out, _err = run_cli(["registry", "list"], capsys)
+        assert code == 0
+        for kind in ("schemes", "designs", "models", "tasks"):
+            assert kind in out
+        assert "mokey" in out
+
+    def test_expands_one_kind_with_descriptions(self, capsys):
+        code, out, _err = run_cli(["registry", "list", "schemes"], capsys)
+        assert code == 0
+        assert "9 entries" in out
+        assert "mokey" in out and "MokeyScheme" in out
+
+    def test_json_format(self, capsys):
+        code, out, _err = run_cli(["registry", "list", "designs", "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert "mokey" in payload
+        code, out, _err = run_cli(["registry", "list", "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"schemes", "designs", "models", "tasks"}
+
+    def test_unknown_kind_suggests_nearest(self, capsys):
+        code, _out, err = run_cli(["registry", "list", "designz"], capsys)
+        assert code == 2
+        assert "did you mean 'designs'?" in err
+
+
 def test_table1_unknown_scheme_subprocess_has_no_traceback(tmp_path):
     """End to end: a bad scheme exits 2 with one stderr line, no traceback."""
     proc = subprocess.run(
