@@ -13,7 +13,13 @@ is visible PR-over-PR:
   the tiny CI grid);
 * ``encoder_layer`` — an end-to-end index-domain encoder-layer forward
   at realistic shape (BERT-Base, seq 128), which the scalar engine could
-  only finish in hours.
+  only finish in hours;
+* ``full_model`` — the whole encoder stack (BERT-Base, all 12 layers,
+  seq 128) end to end in the index domain, per-GEMM versus
+  batched+weight-cached execution, with the speedup **asserted** so GEMM
+  batching and the weight cache can never silently stop paying off;
+* ``decoder_kv_cache`` — a GPT-style decoder (prefill + autoregressive
+  steps) attending against the encoded index-domain KV cache.
 
 Tiny mode (``REPRO_BENCH_TINY=1``) shrinks the shapes; the assertions
 stay.
@@ -32,6 +38,12 @@ from repro.core.index_compute import (
 )
 from repro.transformer.config import TransformerConfig
 from repro.transformer.index_execution import execute_encoder_layer
+from repro.transformer.index_model import (
+    GPT_DECODER_CONFIG,
+    IndexDomainModelExecutor,
+    execute_decoder,
+    execute_model,
+)
 
 # Layer-scale GEMM: the acceptance shape in full mode, a CI-sized grid in
 # tiny mode.  The speedup floor is deliberately conservative (measured
@@ -176,3 +188,140 @@ def test_perf_encoder_layer_index_domain(mokey_quantizer):
     assert measurement.total_seconds < 60.0
     assert measurement.output_rms_error < 0.5
     assert 0.0 < measurement.outlier_pair_fraction < 0.2
+
+
+# Full-model shapes: all of BERT-Base in full mode, a two-layer nano
+# stack in tiny mode.  The speedup floor compares a warmed batched+cached
+# executor against cold per-GEMM execution; it is deliberately
+# conservative (the weight cache alone removes the majority of quantize
+# time) so the assertion only fires when batching or caching has actually
+# stopped working.
+if TINY_MODE:
+    MODEL_SPEC = TransformerConfig(
+        name="bert-nano",
+        num_layers=2,
+        hidden_size=96,
+        num_heads=4,
+        intermediate_size=384,
+        vocab_size=512,
+    )
+    MODEL_SEQ = 32
+    MODEL_SPEEDUP_FLOOR = 1.1
+    DECODER_SPEC = TransformerConfig(
+        name="gpt-nano",
+        num_layers=2,
+        hidden_size=96,
+        num_heads=4,
+        intermediate_size=384,
+        vocab_size=512,
+    )
+    PROMPT_LENGTH, DECODE_TOKENS = 16, 4
+else:
+    MODEL_SPEC = "bert-base"
+    MODEL_SEQ = 128
+    MODEL_SPEEDUP_FLOOR = 1.5
+    DECODER_SPEC = GPT_DECODER_CONFIG
+    PROMPT_LENGTH, DECODE_TOKENS = 32, 8
+
+
+def test_perf_full_model_index_domain(mokey_quantizer):
+    """End-to-end encoder stack: per-GEMM baseline vs batched+cached."""
+    baseline = execute_model(
+        MODEL_SPEC,
+        sequence_length=MODEL_SEQ,
+        quantizer=mokey_quantizer,
+        cache_weights=False,
+        gemm_batching=False,
+    )
+    executor = IndexDomainModelExecutor(
+        MODEL_SPEC, quantizer=mokey_quantizer, cache_weights=True, gemm_batching=True
+    )
+    cold = execute_model(MODEL_SPEC, sequence_length=MODEL_SEQ, executor=executor)
+    warm = execute_model(MODEL_SPEC, sequence_length=MODEL_SEQ, executor=executor)
+
+    speedup = baseline.total_seconds / warm.total_seconds
+    pairs = warm.stats.total_pairs
+    print(
+        f"\nfull model ({baseline.model}, {baseline.num_layers} layers, "
+        f"seq {MODEL_SEQ}): per-GEMM {baseline.total_seconds:.2f}s, "
+        f"batched+cached cold {cold.total_seconds:.2f}s / warm "
+        f"{warm.total_seconds:.2f}s ({speedup:.2f}x, "
+        f"{pairs / warm.engine_seconds / 1e9:.2f} Gpairs/s engine), "
+        f"{warm.weight_cache_hits} cache hits, "
+        f"output RMS err {warm.output_rms_error:.4f}"
+    )
+    record_perf(
+        "full_model",
+        {
+            "model": baseline.model,
+            "num_layers": baseline.num_layers,
+            "sequence_length": MODEL_SEQ,
+            "per_gemm_seconds": baseline.total_seconds,
+            "batched_cold_seconds": cold.total_seconds,
+            "batched_warm_seconds": warm.total_seconds,
+            "batched_vs_per_gemm_speedup": speedup,
+            "speedup_floor": MODEL_SPEEDUP_FLOOR,
+            "pairs": pairs,
+            "pairs_per_second": pairs / max(warm.engine_seconds, 1e-9),
+            "quantize_seconds_warm": warm.quantize_seconds,
+            "engine_seconds_warm": warm.engine_seconds,
+            "weight_cache_hits_warm": warm.weight_cache_hits,
+            "outlier_pair_fraction": warm.outlier_pair_fraction,
+            "output_rms_error": warm.output_rms_error,
+        },
+    )
+    # Equivalence: batching + caching are pure execution strategies — the
+    # operation counts and the numerical trajectory must not move.
+    assert warm.stats == baseline.stats
+    assert np.isclose(warm.output_rms_error, baseline.output_rms_error)
+    # One hit per weight GEMM per layer on the warm forward.
+    assert warm.weight_cache_hits == 6 * warm.num_layers
+    assert cold.weight_cache_hits == 0
+    # A full BERT-Base forward must stay interactive (the scalar engine
+    # would need days), and the optimisations must keep paying off.
+    assert warm.total_seconds < 120.0
+    assert speedup >= MODEL_SPEEDUP_FLOOR, (
+        f"batched+cached full-model forward only {speedup:.2f}x over per-GEMM "
+        f"(floor {MODEL_SPEEDUP_FLOOR}x) — did GEMM batching or the weight "
+        f"cache stop being used?"
+    )
+
+
+def test_perf_decoder_kv_cache(mokey_quantizer):
+    """GPT-style decode throughput against the encoded KV cache."""
+    measurement = execute_decoder(
+        DECODER_SPEC,
+        prompt_length=PROMPT_LENGTH,
+        decode_tokens=DECODE_TOKENS,
+        quantizer=mokey_quantizer,
+    )
+    print(
+        f"\ndecoder ({measurement.model}, {measurement.num_layers} layers, "
+        f"prompt {PROMPT_LENGTH} + {DECODE_TOKENS} steps): "
+        f"prefill {measurement.prefill_seconds:.2f}s, decode "
+        f"{measurement.decode_seconds:.2f}s "
+        f"({measurement.tokens_per_second:.2f} tokens/s), "
+        f"{measurement.stats.total_pairs / 1e6:.1f} Mpairs, "
+        f"output RMS err {measurement.output_rms_error:.4f}"
+    )
+    record_perf(
+        "decoder_kv_cache",
+        {
+            "model": measurement.model,
+            "num_layers": measurement.num_layers,
+            "prompt_length": PROMPT_LENGTH,
+            "decode_tokens": DECODE_TOKENS,
+            "prefill_seconds": measurement.prefill_seconds,
+            "decode_seconds": measurement.decode_seconds,
+            "tokens_per_second": measurement.tokens_per_second,
+            "pairs": measurement.stats.total_pairs,
+            "cached_tokens": measurement.cached_tokens,
+            "outlier_pair_fraction": measurement.outlier_pair_fraction,
+            "output_rms_error": measurement.output_rms_error,
+        },
+    )
+    # The cache must hold exactly one K/V row per processed token, and
+    # decoding against encoded K/V must stay interactive and accurate.
+    assert measurement.cached_tokens == PROMPT_LENGTH + DECODE_TOKENS
+    assert measurement.tokens_per_second > 0.05
+    assert measurement.output_rms_error < 0.5

@@ -62,6 +62,44 @@ _DEFAULT_PERF_NAME = "BENCH_PERF.tiny.json" if TINY_MODE else "BENCH_PERF.json"
 BENCH_PERF_PATH = Path(os.environ.get("REPRO_BENCH_PERF", REPO_ROOT / _DEFAULT_PERF_NAME))
 
 
+def _blas_environment() -> dict:
+    """The BLAS/threading context GEMM-heavy measurements depend on.
+
+    Engine throughput is a function of the library NumPy's ``@`` lowers
+    to and of how many threads that library may use, so both are stamped
+    next to the numbers: a BENCH_PERF diff across machines (or across an
+    ``OMP_NUM_THREADS`` change) should show *why* the floors moved.
+    """
+    env: dict = {
+        "cpu_count": os.cpu_count(),
+        "thread_env": {
+            name: os.environ.get(name)
+            for name in (
+                "OMP_NUM_THREADS",
+                "MKL_NUM_THREADS",
+                "OPENBLAS_NUM_THREADS",
+                "NUMEXPR_NUM_THREADS",
+            )
+        },
+    }
+    try:
+        config = np.show_config(mode="dicts")
+    except Exception:  # pragma: no cover - numpy < 1.25 or exotic builds
+        config = None
+    if isinstance(config, dict):
+        blas = {}
+        for library, info in (config.get("Build Dependencies") or {}).items():
+            if library in ("blas", "lapack") and isinstance(info, dict):
+                blas[library] = {
+                    key: info[key]
+                    for key in ("name", "version", "openblas configuration")
+                    if info.get(key)
+                }
+        if blas:
+            env["numpy_blas"] = blas
+    return env
+
+
 def record_perf(section: str, payload: dict) -> None:
     """Merge one benchmark section into ``BENCH_PERF.json``.
 
@@ -81,6 +119,7 @@ def record_perf(section: str, payload: dict) -> None:
         "numpy": np.__version__,
         "machine": platform.machine(),
         "tiny_mode": TINY_MODE,
+        **_blas_environment(),
     }
     data[section] = payload
     BENCH_PERF_PATH.write_text(

@@ -13,7 +13,7 @@ so repeated runs only simulate new grid points::
     repro campaign report --design mokey --format csv
     repro campaign list
     repro campaign clean --yes
-    repro registry list              # the four pluggable-axis registries
+    repro registry list              # the five pluggable-axis registries
     repro registry list schemes      # one registry's entries, described
     repro table1                 # the paper's eight Table I fidelity rows
     repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
@@ -41,6 +41,7 @@ import json
 import os
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fidelity import joint_rows, table1_rows
@@ -52,6 +53,7 @@ from repro.experiments import (
     CampaignSpec,
     Enrichments,
     ExecutionPolicy,
+    MeasurementSettings,
     ResultCache,
     ScenarioRecord,
     UnsupportedSchemeError,
@@ -246,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also execute one encoder layer per (model, seq, batch) through the "
         "vectorized index-domain engine and join the measured Gaussian/outlier "
         "operation counts to each record, next to the analytic ones",
+    )
+    run.add_argument(
+        "--measured-scope",
+        choices=("layer", "model"),
+        default=None,
+        metavar="SCOPE",
+        help="what the measured stats cover: 'layer' (one encoder layer, the "
+        "default) or 'model' (the whole encoder stack, every layer's "
+        "index-domain output feeding the next); implies --with-measured-stats",
     )
     run.add_argument(
         "--no-store", action="store_true", help="do not read or write the artifact store"
@@ -465,6 +476,13 @@ def _spec_from_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -
         enrichment_overrides["accuracy"] = True
     if getattr(args, "with_measured_stats", False):
         enrichment_overrides["measured"] = True
+    measured_scope = getattr(args, "measured_scope", None)
+    if measured_scope is not None:
+        base_settings = spec.enrichments.measurement_settings or MeasurementSettings()
+        enrichment_overrides["measured"] = True
+        enrichment_overrides["measurement_settings"] = replace(
+            base_settings, scope=measured_scope
+        )
     if enrichment_overrides:
         spec = spec.with_enrichments(**enrichment_overrides)
     return spec
@@ -509,6 +527,12 @@ def _stream_records(
     return records, last_progress
 
 
+def _measured_noun(spec: CampaignSpec) -> str:
+    """What one measured execution covered: a layer, or a whole model."""
+    settings = spec.enrichments.measurement_settings
+    return "models" if settings is not None and settings.scope == "model" else "layers"
+
+
 def _run_summary(
     spec: CampaignSpec,
     records: List[ScenarioRecord],
@@ -533,7 +557,8 @@ def _run_summary(
             else ""
         )
         + (
-            f", {last_progress.measured_evaluated} layers measured"
+            f", {last_progress.measured_evaluated} "
+            f"{_measured_noun(spec)} measured"
             if spec.enrichments.measured and last_progress is not None
             else ""
         )

@@ -79,8 +79,15 @@ __all__ = [
     "IndexMatmulResult",
     "IndexDomainEngine",
     "VectorizedIndexDomainEngine",
+    "TorchIndexDomainEngine",
+    "ENGINE_BACKENDS",
+    "ENGINE_DESCRIPTIONS",
+    "available_engines",
+    "resolve_engine",
+    "make_engine",
     "index_domain_dot",
     "index_domain_matmul",
+    "index_domain_matmul_many",
     "vectorized_index_domain_matmul",
 ]
 
@@ -345,6 +352,47 @@ class IndexDomainEngine:
         return result, stats
 
 
+@dataclass
+class _IndicatorPlanes:
+    """The per-GEMM indicator planes of the vectorized formulation.
+
+    ``p_a``/``g_a`` are the ``(M, K)`` activation planes (symbol-mapped
+    exponential plane and Gaussian indicator), ``q_w``/``h_w`` the
+    ``(K, N)`` weight planes, ``out_a``/``out_w`` the boolean outlier
+    masks.  Built once per GEMM, consumed by the backend products, the
+    value combination and the exact statistics.
+    """
+
+    p_a: np.ndarray
+    g_a: np.ndarray
+    q_w: np.ndarray
+    h_w: np.ndarray
+    out_a: np.ndarray
+    out_w: np.ndarray
+
+    @property
+    def m_rows(self) -> int:
+        return self.p_a.shape[0]
+
+    @property
+    def k_len(self) -> int:
+        return self.p_a.shape[1]
+
+    @property
+    def n_cols(self) -> int:
+        return self.q_w.shape[1]
+
+    @property
+    def lhs(self) -> np.ndarray:
+        """The stacked ``(2M, K)`` left operand: rows ``{P, G}``."""
+        return np.concatenate([self.p_a, self.g_a], axis=0)
+
+    @property
+    def rhs(self) -> np.ndarray:
+        """The stacked ``(K, 2N)`` right operand: columns ``{Q, H}``."""
+        return np.concatenate([self.q_w, self.h_w], axis=1)
+
+
 class VectorizedIndexDomainEngine(IndexDomainEngine):
     """Whole-GEMM index-domain compute via indicator-plane BLAS products.
 
@@ -354,90 +402,128 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
     matrix multiply, outlier pairs by masked direct MACs on the decoded
     centroids.  Produces the same values as the scalar engine up to
     floating-point round-off and bit-identical operation statistics.
+
+    The computation is staged so backends can swap the dense products
+    without touching the formulation: :meth:`_build_planes` (NumPy),
+    :meth:`_product` / :meth:`_batched_product` (the backend seam — the
+    only floating-point GEMMs in the engine), then value combination and
+    the exact integer statistics (NumPy again, derived from the indicator
+    planes alone).  Any backend therefore reports *identical*
+    :class:`IndexComputeStats` to this oracle by construction.
     """
 
-    def matmul(  # type: ignore[override]
-        self,
-        activations: QuantizedTensor,
-        weights: QuantizedTensor,
-        per_row_stats: bool = False,
-    ) -> "IndexMatmulResult":
-        """Vectorized index-domain matrix multiply ``activations @ weights``.
+    # ------------------------------------------------------------------ #
+    # Backend seam: the only dense floating-point products in the engine
+    # ------------------------------------------------------------------ #
+    def _product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """One dense ``(R, K) @ (K, C)`` product on this backend."""
+        return lhs @ rhs
 
-        Args:
-            activations: Quantized ``(M, K)`` activation matrix.
-            weights: Quantized ``(K, N)`` weight matrix.
-            per_row_stats: Also return one :class:`IndexComputeStats` per
-                output row (the accelerator's per-output-tile view).
+    def _batched_product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """One batched ``(B, R, K) @ (B, K, C)`` product on this backend."""
+        return np.matmul(lhs, rhs)
 
-        Returns:
-            An :class:`IndexMatmulResult` with the ``(M, N)`` values and
-            exact aggregate (and optionally per-row) statistics.
+    # ------------------------------------------------------------------ #
+    # Stages of the indicator-plane formulation
+    # ------------------------------------------------------------------ #
+    def _build_planes(
+        self, activations: QuantizedTensor, weights: QuantizedTensor
+    ) -> _IndicatorPlanes:
+        """Indicator planes of one GEMM (always NumPy, backend-independent).
+
+        Activation planes (M, K): the symbol-mapped exponential plane
+        ``P = theta * (a**i + b)`` masked to Gaussian entries (folding the
+        offset b up front merges the SoI/SoA1/SoW1/PoM1 products into a
+        single block: ``P @ Q = U@V + b*(U@R + T@V) + b^2 * T@R``), plus
+        the Gaussian indicator plane ``G``.  Symmetrically ``Q, H`` for
+        the weights.
         """
         m_rows, n_cols = _check_matmul_shapes(activations, weights)
         k_len = activations.shape[1]
-
         enc_a, enc_w = activations.encoded, weights.encoded
-        s_a, m_a = self.act_dict.std, self.act_dict.mean
-        s_w, m_w = self.weight_dict.std, self.weight_dict.mean
         b = self.b
 
         out_a = enc_a.is_outlier.reshape(m_rows, k_len)
         out_w = enc_w.is_outlier.reshape(k_len, n_cols)
-        gauss_a = ~out_a
-        gauss_w = ~out_w
-
-        # Activation planes (M, K): the symbol-mapped exponential plane
-        # P = theta * (a**i + b) masked to Gaussian entries (folding the
-        # offset b up front merges the SoI/SoA1/SoW1/PoM1 products into a
-        # single block: P @ Q = U@V + b*(U@R + T@V) + b^2 * T@R), plus the
-        # Gaussian indicator plane G.  Symmetrically Q, H for the weights.
-        g_a = gauss_a.astype(np.float64)
+        g_a = (~out_a).astype(np.float64)
         p_a = (
             enc_a.sign.reshape(m_rows, k_len).astype(np.float64)
             * (self.half_bases[enc_a.gaussian_index.reshape(m_rows, k_len)] + b)
             * g_a
         )
-        h_w = gauss_w.astype(np.float64)
+        h_w = (~out_w).astype(np.float64)
         q_w = (
             enc_w.sign.reshape(k_len, n_cols).astype(np.float64)
             * (self.half_bases[enc_w.gaussian_index.reshape(k_len, n_cols)] + b)
             * h_w
         )
+        return _IndicatorPlanes(p_a=p_a, g_a=g_a, q_w=q_w, h_w=h_w, out_a=out_a, out_w=out_w)
 
-        # One stacked BLAS call yields the four plane products:
-        # rows {P, G} x cols {Q, H}.
-        prod = np.concatenate([p_a, g_a], axis=0) @ np.concatenate([q_w, h_w], axis=1)
-        M, N = m_rows, n_cols
+    def _outlier_values(
+        self,
+        activations: QuantizedTensor,
+        weights: QuantizedTensor,
+        planes: _IndicatorPlanes,
+    ) -> Optional[np.ndarray]:
+        """Masked direct MACs on the decoded 16-bit centroids (the OPP).
+
+        ``(A outlier, any W)`` plus ``(A Gaussian, W outlier)`` covers
+        every pair in which either operand is an outlier, exactly once.
+        Returns ``None`` when no operand holds outliers.
+        """
+        if not (planes.out_a.any() or planes.out_w.any()):
+            return None
+        dec_a = self.act_dict.decode(activations.encoded, apply_fixed_point=False).reshape(
+            planes.m_rows, planes.k_len
+        )
+        dec_w = self.weight_dict.decode(weights.encoded, apply_fixed_point=False).reshape(
+            planes.k_len, planes.n_cols
+        )
+        contribution: Optional[np.ndarray] = None
+        if planes.out_a.any():
+            contribution = self._product(dec_a * planes.out_a, dec_w)
+        if planes.out_w.any():
+            second = self._product(dec_a * planes.g_a, dec_w * planes.out_w)
+            contribution = second if contribution is None else contribution + second
+        return contribution
+
+    def _combine_values(
+        self,
+        planes: _IndicatorPlanes,
+        prod: np.ndarray,
+        outlier_values: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Eq. 3-6 per output, all at once, from the stacked plane product.
+
+        ``prod`` is the ``(2M, 2N)`` product of :attr:`_IndicatorPlanes.lhs`
+        with :attr:`_IndicatorPlanes.rhs`: the SoI + SoA1 + SoW1 + PoM1
+        family (``P @ Q``), the SoA2/PoM2 family (``P @ H``), the
+        SoW2/PoM3 family (``G @ Q``) and the constant PoM4 term
+        (``G @ H``).
+        """
+        M, N = planes.m_rows, planes.n_cols
+        s_a, m_a = self.act_dict.std, self.act_dict.mean
+        s_w, m_w = self.weight_dict.std, self.weight_dict.mean
         pq, ph = prod[:M, :N], prod[:M, N:]
         gq, gh = prod[M:, :N], prod[M:, N:]
-
-        # Eq. 3-6 per output, all at once: the SoI + SoA1 + SoW1 + PoM1
-        # family (P @ Q), the SoA2/PoM2 family (P @ H), the SoW2/PoM3
-        # family (G @ Q) and the constant PoM4 term (G @ H).
         values = s_a * s_w * pq + s_a * m_w * ph + s_w * m_a * gq + m_a * m_w * gh
+        if outlier_values is not None:
+            values = values + outlier_values
+        return values
 
-        # Outlier pairs: masked direct MACs on the decoded 16-bit centroids
-        # ((A outlier, any W) plus (A Gaussian, W outlier) covers every pair
-        # in which either operand is an outlier, exactly once).
-        any_outliers = bool(out_a.any() or out_w.any())
-        if any_outliers:
-            dec_a = self.act_dict.decode(enc_a, apply_fixed_point=False).reshape(
-                m_rows, k_len
-            )
-            dec_w = self.weight_dict.decode(enc_w, apply_fixed_point=False).reshape(
-                k_len, n_cols
-            )
-            if out_a.any():
-                values = values + (dec_a * out_a) @ dec_w
-            if out_w.any():
-                values = values + (dec_a * gauss_a) @ (dec_w * out_w)
+    def _stats_from_planes(
+        self, planes: _IndicatorPlanes, per_row_stats: bool = False
+    ) -> Tuple[IndexComputeStats, Optional[List[IndexComputeStats]]]:
+        """Exact integer statistics from the indicator planes alone.
 
-        # Exact integer statistics from the indicator planes: the Gaussian
-        # pair count of output (m, n) is (G @ H)[m, n]; summing over n first
-        # keeps the count computation O(MK + KN).
-        gauss_a_int = gauss_a.astype(np.int64)
-        w_gauss_per_k = gauss_w.sum(axis=1, dtype=np.int64)  # (K,)
+        The Gaussian pair count of output ``(m, n)`` is ``(G @ H)[m, n]``;
+        summing over ``n`` first keeps the count computation
+        ``O(MK + KN)``.  Always NumPy integer arithmetic, so every
+        backend reports identical counts.
+        """
+        m_rows, n_cols, k_len = planes.m_rows, planes.n_cols, planes.k_len
+        gauss_a_int = (~planes.out_a).astype(np.int64)
+        w_gauss_per_k = (~planes.out_w).sum(axis=1, dtype=np.int64)  # (K,)
         gaussian_per_row = gauss_a_int @ w_gauss_per_k  # (M,)
         pairs_per_row = n_cols * k_len
         gaussian_total = int(gaussian_per_row.sum())
@@ -467,7 +553,170 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
                         post_processing_macs=n_cols * fixed_macs + outlier,
                     )
                 )
+        return stats, row_stats
+
+    def matmul(  # type: ignore[override]
+        self,
+        activations: QuantizedTensor,
+        weights: QuantizedTensor,
+        per_row_stats: bool = False,
+    ) -> "IndexMatmulResult":
+        """Vectorized index-domain matrix multiply ``activations @ weights``.
+
+        Args:
+            activations: Quantized ``(M, K)`` activation matrix.
+            weights: Quantized ``(K, N)`` weight matrix.
+            per_row_stats: Also return one :class:`IndexComputeStats` per
+                output row (the accelerator's per-output-tile view).
+
+        Returns:
+            An :class:`IndexMatmulResult` with the ``(M, N)`` values and
+            exact aggregate (and optionally per-row) statistics.
+        """
+        planes = self._build_planes(activations, weights)
+        # One stacked backend call yields the four plane products:
+        # rows {P, G} x cols {Q, H}.
+        prod = self._product(planes.lhs, planes.rhs)
+        outlier_values = self._outlier_values(activations, weights, planes)
+        values = self._combine_values(planes, prod, outlier_values)
+        stats, row_stats = self._stats_from_planes(planes, per_row_stats)
         return IndexMatmulResult(values=values, stats=stats, row_stats=row_stats)
+
+
+def _import_torch():
+    """Import torch lazily, with an actionable error when absent."""
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - exercised via mock in tests
+        raise ImportError(
+            "the 'torch' index-domain engine requires the optional torch "
+            "dependency, which is not installed; install torch (CPU wheels "
+            "suffice) or use engine='vectorized', the NumPy oracle"
+        ) from exc
+    return torch
+
+
+class TorchIndexDomainEngine(VectorizedIndexDomainEngine):
+    """Indicator-plane engine with the dense products on ``torch.einsum``.
+
+    Plane construction, value combination and the integer statistics stay
+    on NumPy — so this backend reports :class:`IndexComputeStats`
+    *identical* to the vectorized oracle by construction — while every
+    dense product (the stacked plane GEMM, batched group GEMMs and the
+    outlier MAC matmuls) runs through ``torch.einsum`` in float64 on
+    ``device``.  Values agree with the oracle to floating-point
+    round-off.
+
+    Args:
+        activation_dictionary: Dictionary of the activation tensor.
+        weight_dictionary: Dictionary of the weight tensor.
+        device: Torch device string (``"cpu"``, ``"cuda"``, ...).
+            Defaults to CUDA when available, else CPU.
+
+    Raises:
+        ImportError: When torch is not installed (the import is deferred
+            to construction so environments without torch can still use
+            every NumPy engine).
+    """
+
+    @staticmethod
+    def ensure_available() -> None:
+        """Raise the actionable ImportError now if torch is missing.
+
+        Executors call this once at construction so a missing backend
+        fails fast instead of at the first GEMM.
+        """
+        _import_torch()
+
+    def __init__(
+        self,
+        activation_dictionary: TensorDictionary,
+        weight_dictionary: TensorDictionary,
+        device: Optional[str] = None,
+    ) -> None:
+        super().__init__(activation_dictionary, weight_dictionary)
+        self._torch = _import_torch()
+        if device is None:
+            device = "cuda" if self._torch.cuda.is_available() else "cpu"
+        self.device = str(device)
+
+    def _tensor(self, array: np.ndarray):
+        return self._torch.as_tensor(
+            np.ascontiguousarray(array), dtype=self._torch.float64
+        ).to(self.device)
+
+    def _product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        out = self._torch.einsum("mk,kn->mn", self._tensor(lhs), self._tensor(rhs))
+        return out.cpu().numpy()
+
+    def _batched_product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        out = self._torch.einsum("bmk,bkn->bmn", self._tensor(lhs), self._tensor(rhs))
+        return out.cpu().numpy()
+
+
+# --------------------------------------------------------------------------- #
+# Engine dispatch
+# --------------------------------------------------------------------------- #
+
+#: Backing mapping of the ``"engines"`` registry (:mod:`repro.registry`):
+#: engine name → engine class.  A live view — backends registered through
+#: the registry are immediately selectable by every ``engine=`` switch.
+ENGINE_BACKENDS: Dict[str, type] = {
+    "scalar": IndexDomainEngine,
+    "vectorized": VectorizedIndexDomainEngine,
+    "torch": TorchIndexDomainEngine,
+}
+
+#: One-line descriptions for ``repro registry list``.  Static strings on
+#: purpose: describing the torch backend must not import torch.
+ENGINE_DESCRIPTIONS: Dict[str, str] = {
+    "scalar": "faithful per-output reference engine (np.add.at histograms; tests only)",
+    "vectorized": "whole-GEMM NumPy indicator-plane BLAS engine — the correctness oracle",
+    "torch": "optional torch einsum backend (CPU/GPU) — identical stats to the oracle",
+}
+
+
+def available_engines() -> Tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(ENGINE_BACKENDS))
+
+
+def resolve_engine(engine: str) -> type:
+    """Engine name → engine class, with registry did-you-mean errors.
+
+    Raises:
+        RegistryError: (a ``ValueError``) when the name is unknown, naming
+            the nearest registered engine when one is close.
+    """
+    # Lazy import: repro.registry imports this module at load time to wrap
+    # ENGINE_BACKENDS; reaching back only inside the function keeps the
+    # modules acyclic.
+    from repro.registry import ENGINES
+
+    return ENGINES.get(engine)
+
+
+def make_engine(
+    engine,
+    activation_dictionary: TensorDictionary,
+    weight_dictionary: TensorDictionary,
+    device: Optional[str] = None,
+) -> IndexDomainEngine:
+    """Instantiate an engine by name (or class) for one dictionary pair.
+
+    Args:
+        engine: Registered engine name (``"vectorized"``, ``"scalar"``,
+            ``"torch"``) or an engine class.
+        activation_dictionary: Dictionary of the activation tensor.
+        weight_dictionary: Dictionary of the weight tensor.
+        device: Optional device for backends that take one (the torch
+            engine); passing a device to a backend that does not accept
+            it raises ``TypeError``.
+    """
+    cls = resolve_engine(engine) if isinstance(engine, str) else engine
+    if device is not None:
+        return cls(activation_dictionary, weight_dictionary, device=device)
+    return cls(activation_dictionary, weight_dictionary)
 
 
 def _check_matmul_shapes(
@@ -538,22 +787,142 @@ def index_domain_matmul(
     activations: QuantizedTensor,
     weights: QuantizedTensor,
     engine: str = "vectorized",
+    device: Optional[str] = None,
 ) -> Tuple[np.ndarray, IndexComputeStats]:
     """Matrix multiply of quantized tensors in the index domain.
 
     Args:
         activations: Quantized ``(M, K)`` activation matrix.
         weights: Quantized ``(K, N)`` weight matrix.
-        engine: ``"vectorized"`` (default; whole-GEMM array ops) or
-            ``"scalar"`` (the faithful per-output reference engine).
+        engine: Registered engine name — ``"vectorized"`` (default;
+            whole-GEMM NumPy array ops), ``"torch"`` (optional einsum
+            backend) or ``"scalar"`` (the faithful per-output reference).
+            Unknown names raise a registry error with a did-you-mean
+            suggestion.
+        device: Optional device for backends that take one.
     """
-    if engine == "vectorized":
-        result = vectorized_index_domain_matmul(activations, weights)
-        return result.values, result.stats
-    if engine == "scalar":
-        scalar = IndexDomainEngine(activations.dictionary, weights.dictionary)
-        return scalar.matmul(activations, weights)
-    raise ValueError(f"unknown engine {engine!r} (choose 'vectorized' or 'scalar')")
+    resolved = make_engine(engine, activations.dictionary, weights.dictionary, device=device)
+    out = resolved.matmul(activations, weights)
+    if isinstance(out, IndexMatmulResult):
+        return out.values, out.stats
+    return out
+
+
+def index_domain_matmul_many(
+    pairs,
+    engine: str = "vectorized",
+    device: Optional[str] = None,
+) -> List[IndexMatmulResult]:
+    """Run many index-domain GEMMs, batching same-shape products.
+
+    The per-head attention GEMMs of a layer — and the same projection
+    GEMMs across a model's layers — share one ``(M, K, N)`` shape, so
+    their stacked indicator-plane products can be evaluated by a single
+    batched BLAS (or torch ``bmm``) call instead of one call per GEMM.
+    This function groups ``pairs`` by shape and does exactly that; the
+    per-pair scale combination, outlier MACs and exact integer statistics
+    are unchanged, so every returned :class:`IndexMatmulResult` carries
+    statistics *identical* to a per-GEMM :func:`index_domain_matmul` run
+    (values agree to floating-point round-off).
+
+    Args:
+        pairs: Sequence of ``(activations, weights)`` quantized 2-D
+            tensor pairs.  Per-pair dictionaries may differ (each tensor
+            keeps its own std/mean scales), but all must derive from the
+            same Golden Dictionary fit.
+        engine: Registered engine name; the scalar reference has no
+            batched path and falls back to per-pair execution.
+        device: Optional device for backends that take one.
+
+    Returns:
+        One :class:`IndexMatmulResult` per input pair, in input order.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    engines = [
+        make_engine(engine, act.dictionary, weights.dictionary, device=device)
+        for act, weights in pairs
+    ]
+    base = engines[0]
+    for other in engines[1:]:
+        if (
+            not np.isclose(other.a, base.a)
+            or not np.isclose(other.b, base.b)
+            or other.num_entries != base.num_entries
+        ):
+            raise ValueError(
+                "index_domain_matmul_many requires every pair to share the "
+                "same Golden Dictionary fit (a, b, num_entries)"
+            )
+
+    results: List[Optional[IndexMatmulResult]] = [None] * len(pairs)
+    if not isinstance(base, VectorizedIndexDomainEngine):
+        for index, (resolved, (act, weights)) in enumerate(zip(engines, pairs)):
+            values, stats = resolved.matmul(act, weights)
+            results[index] = IndexMatmulResult(values=values, stats=stats)
+        return results
+
+    groups: Dict[Tuple[int, int, int], List[int]] = {}
+    for index, (act, weights) in enumerate(pairs):
+        _check_matmul_shapes(act, weights)
+        groups.setdefault((act.shape[0], act.shape[1], weights.shape[1]), []).append(index)
+
+    for indices in groups.values():
+        if len(indices) == 1:
+            only = indices[0]
+            results[only] = engines[only].matmul(pairs[only][0], pairs[only][1])
+            continue
+        planes = [engines[i]._build_planes(pairs[i][0], pairs[i][1]) for i in indices]
+        prods = engines[indices[0]]._batched_product(
+            np.stack([p.lhs for p in planes]), np.stack([p.rhs for p in planes])
+        )
+        outlier_blocks = _batched_outlier_values(engines, pairs, indices, planes)
+        for position, index in enumerate(indices):
+            outlier = None if outlier_blocks is None else outlier_blocks[position]
+            values = engines[index]._combine_values(planes[position], prods[position], outlier)
+            stats, _ = engines[index]._stats_from_planes(planes[position])
+            results[index] = IndexMatmulResult(values=values, stats=stats)
+    return results
+
+
+def _batched_outlier_values(
+    engines: List[IndexDomainEngine],
+    pairs,
+    indices: List[int],
+    planes: List[_IndicatorPlanes],
+) -> Optional[np.ndarray]:
+    """Batched masked outlier MACs for one same-shape group.
+
+    Pairs without outliers contribute an exactly-zero mask product, so
+    batching over the whole group is exact; skipped entirely (``None``)
+    when no pair in the group holds outliers.
+    """
+    if not any(p.out_a.any() or p.out_w.any() for p in planes):
+        return None
+    dec_a, dec_w = [], []
+    for position, index in enumerate(indices):
+        act, weights = pairs[index]
+        resolved, p = engines[index], planes[position]
+        dec_a.append(
+            resolved.act_dict.decode(act.encoded, apply_fixed_point=False).reshape(
+                p.m_rows, p.k_len
+            )
+        )
+        dec_w.append(
+            resolved.weight_dict.decode(weights.encoded, apply_fixed_point=False).reshape(
+                p.k_len, p.n_cols
+            )
+        )
+    base = engines[indices[0]]
+    first = base._batched_product(
+        np.stack([d * p.out_a for d, p in zip(dec_a, planes)]), np.stack(dec_w)
+    )
+    second = base._batched_product(
+        np.stack([d * p.g_a for d, p in zip(dec_a, planes)]),
+        np.stack([d * p.out_w for d, p in zip(dec_w, planes)]),
+    )
+    return first + second
 
 
 def vectorized_index_domain_matmul(

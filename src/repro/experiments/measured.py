@@ -56,11 +56,17 @@ class MeasurementSettings:
             default build).
         golden_repeats: Repeats for the Golden Dictionary build.
         golden_seed: Seed for the Golden Dictionary build.
+        scope: ``"layer"`` (default) measures one encoder layer;
+            ``"model"`` runs the whole encoder stack through
+            :func:`repro.transformer.index_model.execute_model` — every
+            layer's index-domain output feeding the next — and sums the
+            counts across the full depth.
     """
 
     golden_samples: int = 12000
     golden_repeats: int = 2
     golden_seed: int = 7
+    scope: str = "layer"
 
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -120,12 +126,16 @@ class MeasuredStats:
             plus one MAC per outlier pair).
         gemm_instances: GEMM instances executed (heads x batch for the
             attention score/context GEMMs).
-        output_rms_error: Relative RMS error of the index-domain layer
-            output against the FP forward of the same block.
+        output_rms_error: Relative RMS error of the index-domain output
+            against the FP forward (of the block at layer scope, of the
+            whole stack at model scope).
         seed: Seed the block and inputs were built from.
         settings_digest: :meth:`MeasurementSettings.digest` of the
             settings that produced the result; lookups only reuse a
             result whose digest matches.
+        scope: ``"layer"`` or ``"model"`` — what the counts cover.
+        layers_measured: Encoder layers the counts were summed over
+            (1 at layer scope, the configured depth at model scope).
     """
 
     model: str = ""
@@ -140,6 +150,8 @@ class MeasuredStats:
     output_rms_error: float = 0.0
     seed: int = 0
     settings_digest: str = ""
+    scope: str = "layer"
+    layers_measured: int = 1
 
     @property
     def total_pairs(self) -> int:
@@ -166,6 +178,8 @@ class MeasuredStats:
             "output_rms_error": float(self.output_rms_error),
             "seed": int(self.seed),
             "settings_digest": self.settings_digest,
+            "scope": self.scope,
+            "layers_measured": int(self.layers_measured),
         }
 
     @classmethod
@@ -210,27 +224,54 @@ def evaluate_measured(
     batch_size: int = 1,
     settings: Optional[MeasurementSettings] = None,
 ) -> MeasuredStats:
-    """Measure the index-domain operation mix of one encoder layer.
+    """Measure the index-domain operation mix of one workload.
 
-    Runs :func:`repro.transformer.index_execution.execute_encoder_layer`
-    at the workload's full model width and folds the outcome into a
-    deterministic, serializable :class:`MeasuredStats`.
+    At the default layer scope, runs
+    :func:`repro.transformer.index_execution.execute_encoder_layer` at
+    the workload's full model width; at model scope
+    (``settings.scope == "model"``), runs the entire encoder stack
+    through :func:`repro.transformer.index_model.execute_model` and sums
+    the counts across the full depth.  Either way the outcome folds into
+    a deterministic, serializable :class:`MeasuredStats`.
 
     Raises:
         KeyError: unknown model name.
-        ValueError: non-positive sequence length or batch size.
+        ValueError: non-positive sequence length or batch size, or an
+            unknown measurement scope.
     """
-    from repro.transformer.index_execution import execute_encoder_layer
-
     settings = settings or DEFAULT_MEASUREMENT_SETTINGS
+    if settings.scope not in ("layer", "model"):
+        raise ValueError(
+            f"unknown measurement scope {settings.scope!r} (choose 'layer' or 'model')"
+        )
     seed = _stable_seed(model, sequence_length, batch_size)
-    measurement = execute_encoder_layer(
-        model,
-        sequence_length=sequence_length,
-        batch_size=batch_size,
-        quantizer=_measurement_quantizer(settings),
-        seed=seed,
-    )
+    quantizer = _measurement_quantizer(settings)
+    if settings.scope == "model":
+        from repro.transformer.index_model import execute_model
+
+        measurement = execute_model(
+            model,
+            sequence_length=sequence_length,
+            batch_size=batch_size,
+            quantizer=quantizer,
+            seed=seed,
+        )
+        gemm_instances = sum(
+            g.count for layer in measurement.layers for g in layer.gemms
+        )
+        layers_measured = measurement.num_layers
+    else:
+        from repro.transformer.index_execution import execute_encoder_layer
+
+        measurement = execute_encoder_layer(
+            model,
+            sequence_length=sequence_length,
+            batch_size=batch_size,
+            quantizer=quantizer,
+            seed=seed,
+        )
+        gemm_instances = sum(g.count for g in measurement.gemms)
+        layers_measured = 1
     stats = measurement.stats
     return MeasuredStats(
         model=model,
@@ -241,8 +282,10 @@ def evaluate_measured(
         index_additions=stats.index_additions,
         counter_updates=stats.counter_updates,
         post_processing_macs=stats.post_processing_macs,
-        gemm_instances=sum(g.count for g in measurement.gemms),
+        gemm_instances=gemm_instances,
         output_rms_error=measurement.output_rms_error,
         seed=seed,
         settings_digest=settings.digest(),
+        scope=settings.scope,
+        layers_measured=layers_measured,
     )

@@ -1,11 +1,12 @@
 """Unified registry surface over every pluggable axis of the evaluation.
 
-The campaign grid sweeps four pluggable axes — quantization schemes,
-accelerator designs, model-zoo configurations and evaluation tasks — and
-each historically exposed its own lookup idiom (``get_scheme``,
-``build_design``/``DESIGN_FACTORIES``, ``MODEL_CONFIGS``,
-``task_family``).  This module puts one :class:`Registry` protocol in
-front of all four: ``names()`` / ``get()`` / ``describe()`` plus
+The evaluation exposes five pluggable axes — quantization schemes,
+accelerator designs, model-zoo configurations, evaluation tasks and
+index-domain compute engines — and each historically exposed its own
+lookup idiom (``get_scheme``, ``build_design``/``DESIGN_FACTORIES``,
+``MODEL_CONFIGS``, ``task_family``, ``ENGINE_BACKENDS``).  This module
+puts one :class:`Registry` protocol in
+front of all of them: ``names()`` / ``get()`` / ``describe()`` plus
 entry-point-style registration, so spec validation, the CLI
 (``repro registry list``) and error messages all speak the same language.
 
@@ -185,7 +186,7 @@ class Registry:
 
 
 # --------------------------------------------------------------------------- #
-# The four concrete registries.
+# The concrete registries.
 #
 # Importing the backing modules here is acyclic: none of them import this
 # module at import time (schemes/scenario reach back only lazily, inside
@@ -200,6 +201,10 @@ from repro.transformer.tasks import (  # noqa: E402
 )
 from repro.accelerator.workloads import (  # noqa: E402
     TASK_SEQUENCE_LENGTHS as _TASK_SEQUENCE_LENGTHS,
+)
+from repro.core.index_compute import (  # noqa: E402
+    ENGINE_BACKENDS as _ENGINE_BACKENDS,
+    ENGINE_DESCRIPTIONS as _ENGINE_DESCRIPTIONS,
 )
 
 
@@ -260,12 +265,30 @@ TASKS = Registry(
     virtual_entries={family: family for family in _TASK_METRICS},
 )
 
+
+def _describe_engine(name: str, cls: Any) -> str:
+    # Static descriptions on purpose: describing the torch backend must
+    # not import torch.  Unknown (user-registered) backends fall back to
+    # the first docstring line.
+    described = _ENGINE_DESCRIPTIONS.get(name)
+    if described is None:
+        doc = (cls.__doc__ or "index-domain engine backend").strip()
+        described = doc.splitlines()[0]
+    return described
+
+
+#: Live view over ``ENGINE_BACKENDS``: the index-domain compute backends
+#: every ``engine=`` switch (``index_domain_matmul``, the encoder/model
+#: executors, measured campaigns) resolves through.
+ENGINES = Registry("engines", _ENGINE_BACKENDS, _describe_engine)
+
 #: The registry of registries: every pluggable axis by kind.
 REGISTRIES: Dict[str, Registry] = {
     "schemes": SCHEMES,
     "designs": DESIGNS,
     "models": MODELS,
     "tasks": TASKS,
+    "engines": ENGINES,
 }
 
 

@@ -14,6 +14,14 @@ from repro.transformer.index_execution import (
     LayerMeasurement,
     execute_encoder_layer,
 )
+from repro.transformer.index_model import (
+    DecodeMeasurement,
+    IndexDomainModelExecutor,
+    IndexKVCache,
+    ModelMeasurement,
+    execute_decoder,
+    execute_model,
+)
 from repro.transformer.model import TransformerModel
 from repro.transformer.profiling import ActivationProfiler, TensorStatistics
 
@@ -25,4 +33,10 @@ __all__ = [
     "IndexDomainEncoderExecutor",
     "LayerMeasurement",
     "execute_encoder_layer",
+    "IndexDomainModelExecutor",
+    "ModelMeasurement",
+    "execute_model",
+    "IndexKVCache",
+    "DecodeMeasurement",
+    "execute_decoder",
 ]

@@ -1,0 +1,691 @@
+"""Full-model index-domain execution: encoder stacks and a KV-cache decoder.
+
+:mod:`repro.transformer.index_execution` runs *one* encoder layer with
+every GEMM in the index domain; this module scales that to whole models:
+
+* :class:`IndexDomainModelExecutor` / :func:`execute_model` — an entire
+  encoder stack (BERT-Base/Large depth) executes forward layer by layer,
+  each layer's index-domain output feeding the next.  One shared
+  :class:`~repro.transformer.index_execution.IndexDomainEncoderExecutor`
+  carries the per-``(layer, gemm)`` weight cache, so every weight tensor
+  is quantized exactly once per model, and shape-matched GEMMs inside a
+  layer run as single batched BLAS calls.  The FP forward of the same
+  blocks is the accuracy oracle at every depth.
+* :class:`IndexKVCache` / :func:`execute_decoder` — a GPT-style decoder
+  attention path.  The cache stores the *encoded* K/V rows: dictionaries
+  are fit once at prefill and reused verbatim for every appended decode
+  row, so the growing cache stays one valid
+  :class:`~repro.core.quantizer.QuantizedTensor` per tensor and per-head
+  slices share the dictionary (the index-domain engine requires both).
+  Each decode step quantizes only the new query/probability rows and
+  multiplies them against the cached encodings — the per-step work the
+  accelerator would do.  A floating-point decoder with an FP KV cache,
+  fed the identical synthetic inputs, is the correctness oracle.
+
+Sequential layer dependencies mean a single forward can only batch
+*independent* GEMMs into one BLAS call (per-head score/context products,
+the Q/K/V projections over one shared input); the cross-layer wins come
+from the weight cache and from :func:`repro.core.index_compute.
+index_domain_matmul_many`, which callers with independent cross-layer
+GEMM sets (multi-stream serving, replayed traces) can feed directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.index_compute import IndexComputeStats
+from repro.core.quantizer import MokeyQuantizer, QuantizedTensor
+from repro.core.tensor_dictionary import EncodedValues
+from repro.transformer.config import TransformerConfig
+from repro.transformer.encoder import EncoderBlock
+from repro.transformer.functional import gelu, softmax
+from repro.transformer.index_execution import (
+    GemmMeasurement,
+    IndexDomainEncoderExecutor,
+    LayerMeasurement,
+    _build_block,
+    _resolve_config,
+)
+
+__all__ = [
+    "GPT_DECODER_CONFIG",
+    "ModelMeasurement",
+    "DecodeMeasurement",
+    "IndexDomainModelExecutor",
+    "IndexKVCache",
+    "execute_model",
+    "execute_decoder",
+]
+
+#: GPT-2-small-shaped decoder configuration for the KV-cache path.  Not
+#: registered in the model zoo: the zoo enumerates the paper's Table I
+#: encoder models and their goldens must stay unchanged.
+GPT_DECODER_CONFIG = TransformerConfig(
+    name="gpt2-small",
+    num_layers=12,
+    hidden_size=768,
+    num_heads=12,
+    intermediate_size=3072,
+    vocab_size=50257,
+    max_position_embeddings=1024,
+)
+
+
+@dataclass
+class ModelMeasurement:
+    """Measured index-domain execution of a whole encoder stack.
+
+    Attributes:
+        model: Configuration name the stack was built from.
+        sequence_length: Tokens per input.
+        batch_size: Inputs per pass.
+        num_layers: Encoder layers executed.
+        layers: Per-layer measurements, in depth order.  Each layer's
+            ``output_rms_error`` is measured against the FP forward at
+            the same depth, so quantization error *accumulated* across
+            the stack is visible layer by layer.
+        stats: Operation counts merged over every GEMM of every layer.
+        quantize_seconds: Total operand fit/encode wall time.
+        engine_seconds: Total index-domain compute wall time.
+        total_seconds: End-to-end wall time of the model forward.
+        output_rms_error: RMS error of the final hidden states against
+            the FP forward, relative to the FP output RMS.
+        weight_cache_hits: GEMMs served from the weight cache during
+            this forward (0 on the first forward of a fresh executor,
+            one per weight GEMM on every later forward).
+    """
+
+    model: str
+    sequence_length: int
+    batch_size: int
+    num_layers: int
+    layers: List[LayerMeasurement]
+    stats: IndexComputeStats
+    quantize_seconds: float
+    engine_seconds: float
+    total_seconds: float
+    output_rms_error: float
+    weight_cache_hits: int
+
+    @property
+    def measured_macs(self) -> int:
+        """Total operand pairs processed across the stack."""
+        return self.stats.total_pairs
+
+    @property
+    def outlier_pair_fraction(self) -> float:
+        return self.stats.outlier_pair_fraction
+
+
+class IndexDomainModelExecutor:
+    """Runs a whole synthetic encoder stack with index-domain GEMMs.
+
+    Blocks are built once (deterministic in ``seed``) and the underlying
+    layer executor is shared across forwards, so repeated calls — a
+    campaign sweeping sequence lengths, a perf bench warming up — reuse
+    every cached weight encoding.
+
+    Args:
+        model: Model-zoo name or an explicit :class:`TransformerConfig`.
+        num_layers: Optional cap on the executed depth (``None`` runs
+            the configured depth).
+        quantizer: Shared tensor quantizer; generated if omitted.
+        engine: Registered engine name (``"vectorized"``, ``"torch"``,
+            ``"scalar"``).
+        device: Optional device for backends that take one.
+        seed: Seed for the per-layer block weights.
+        cache_weights: Quantize each weight once per (layer, gemm) key
+            (on by default at model scale).
+        gemm_batching: Batch shape-matched GEMMs into single BLAS calls
+            (on by default at model scale).
+    """
+
+    def __init__(
+        self,
+        model: Union[str, TransformerConfig] = "bert-base",
+        num_layers: Optional[int] = None,
+        quantizer: Optional[MokeyQuantizer] = None,
+        engine: str = "vectorized",
+        device: Optional[str] = None,
+        seed: int = 0,
+        cache_weights: bool = True,
+        gemm_batching: bool = True,
+    ) -> None:
+        self.config = _resolve_config(model)
+        depth = self.config.num_layers if num_layers is None else num_layers
+        if depth < 1:
+            raise ValueError(f"num_layers must be >= 1, got {depth}")
+        self.num_layers = min(depth, self.config.num_layers)
+        self.seed = seed
+        # Spaced seeds: _build_block consumes seed and seed + 1 internally.
+        self.blocks: List[EncoderBlock] = [
+            _build_block(self.config, seed + 10 * layer)
+            for layer in range(self.num_layers)
+        ]
+        self.executor = IndexDomainEncoderExecutor(
+            quantizer=quantizer,
+            engine=engine,
+            device=device,
+            cache_weights=cache_weights,
+            gemm_batching=gemm_batching,
+        )
+
+    @property
+    def quantizer(self) -> MokeyQuantizer:
+        return self.executor.quantizer
+
+    @property
+    def weight_cache_hits(self) -> int:
+        return self.executor.weight_cache_hits
+
+    def forward(self, hidden_states: np.ndarray) -> ModelMeasurement:
+        """Forward ``(batch, seq, hidden)`` states through the whole stack.
+
+        Every GEMM of every layer runs in the index domain; each layer's
+        index-domain output feeds the next layer.  The FP forward of the
+        same blocks over the same input is evaluated alongside as the
+        accuracy oracle at every depth.
+        """
+        batch, seq, _hidden = hidden_states.shape
+        hits_before = self.executor.weight_cache_hits
+        layers: List[LayerMeasurement] = []
+        stats = IndexComputeStats()
+        fp_states = hidden_states
+        index_states = hidden_states
+        started = time.perf_counter()
+        fp_seconds = 0.0
+        for layer, block in enumerate(self.blocks):
+            layer_started = time.perf_counter()
+            index_states, gemms = self.executor.run_block(
+                block, index_states, layer_key=layer
+            )
+            layer_seconds = time.perf_counter() - layer_started
+
+            # The FP oracle trace rides along (excluded from the timings).
+            fp_started = time.perf_counter()
+            fp_states = block(fp_states)
+            fp_seconds += time.perf_counter() - fp_started
+
+            fp_rms = float(np.sqrt(np.mean(np.square(fp_states)))) or 1.0
+            rms_error = (
+                float(np.sqrt(np.mean(np.square(index_states - fp_states)))) / fp_rms
+            )
+            layer_stats = IndexComputeStats()
+            for gemm in gemms:
+                layer_stats.merge(gemm.stats)
+            stats.merge(layer_stats)
+            layers.append(
+                LayerMeasurement(
+                    model=self.config.name,
+                    sequence_length=seq,
+                    batch_size=batch,
+                    gemms=gemms,
+                    stats=layer_stats,
+                    quantize_seconds=sum(g.quantize_seconds for g in gemms),
+                    engine_seconds=sum(g.engine_seconds for g in gemms),
+                    total_seconds=layer_seconds,
+                    output_rms_error=rms_error,
+                )
+            )
+        total_seconds = time.perf_counter() - started - fp_seconds
+
+        return ModelMeasurement(
+            model=self.config.name,
+            sequence_length=seq,
+            batch_size=batch,
+            num_layers=self.num_layers,
+            layers=layers,
+            stats=stats,
+            quantize_seconds=sum(m.quantize_seconds for m in layers),
+            engine_seconds=sum(m.engine_seconds for m in layers),
+            total_seconds=total_seconds,
+            output_rms_error=layers[-1].output_rms_error,
+            weight_cache_hits=self.executor.weight_cache_hits - hits_before,
+        )
+
+
+def execute_model(
+    model: Union[str, TransformerConfig] = "bert-base",
+    sequence_length: int = 128,
+    batch_size: int = 1,
+    num_layers: Optional[int] = None,
+    quantizer: Optional[MokeyQuantizer] = None,
+    engine: str = "vectorized",
+    device: Optional[str] = None,
+    seed: int = 0,
+    cache_weights: bool = True,
+    gemm_batching: bool = True,
+    executor: Optional[IndexDomainModelExecutor] = None,
+) -> ModelMeasurement:
+    """Execute a whole encoder stack end-to-end in the index domain.
+
+    Args:
+        model: Model-zoo name (``"bert-base"``, ``"bert-large"``, ...)
+            or an explicit :class:`TransformerConfig`.
+        sequence_length: Tokens per input.
+        batch_size: Inputs per pass.
+        num_layers: Optional depth cap (tests and tiny benches).
+        quantizer: Shared tensor quantizer; generated if omitted.
+        engine: Registered engine name.
+        device: Optional device for backends that take one.
+        seed: Seed for the block weights and input activations.
+        cache_weights / gemm_batching: See
+            :class:`IndexDomainModelExecutor` (both on by default).
+        executor: Reuse an existing model executor (and its weight
+            cache); the other construction arguments are then ignored.
+    """
+    if sequence_length < 1:
+        raise ValueError(f"sequence_length must be >= 1, got {sequence_length}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if executor is None:
+        executor = IndexDomainModelExecutor(
+            model=model,
+            num_layers=num_layers,
+            quantizer=quantizer,
+            engine=engine,
+            device=device,
+            seed=seed,
+            cache_weights=cache_weights,
+            gemm_batching=gemm_batching,
+        )
+    rng = np.random.default_rng(executor.seed + 7919)
+    hidden_states = rng.normal(
+        0.0, 1.0, size=(batch_size, sequence_length, executor.config.hidden_size)
+    ).astype(np.float32)
+    return executor.forward(hidden_states)
+
+
+# --------------------------------------------------------------------------- #
+# GPT-style decoder attention with an index-domain KV cache
+# --------------------------------------------------------------------------- #
+def _slice_quantized(
+    tensor: QuantizedTensor, columns: slice, transpose: bool = False
+) -> QuantizedTensor:
+    """Column slice of a 2-D quantized tensor, sharing its dictionary.
+
+    The encoding is elementwise, so any slice (and its transpose) of the
+    encoded fields is itself a valid encoding under the same dictionary —
+    this is what lets every attention head read its ``head_dim`` columns
+    of the cached K/V without re-quantizing.
+    """
+    def pick(array: np.ndarray) -> np.ndarray:
+        matrix = array.reshape(tensor.shape)[:, columns]
+        return matrix.T if transpose else matrix
+
+    encoded = EncodedValues(
+        is_outlier=pick(tensor.encoded.is_outlier),
+        sign=pick(tensor.encoded.sign),
+        gaussian_index=pick(tensor.encoded.gaussian_index),
+        outlier_index=pick(tensor.encoded.outlier_index),
+    )
+    return QuantizedTensor(
+        name=f"{tensor.name}[{columns.start}:{columns.stop}]",
+        shape=encoded.is_outlier.shape,
+        encoded=encoded,
+        dictionary=tensor.dictionary,
+    )
+
+
+def _concat_quantized(old: QuantizedTensor, new: QuantizedTensor) -> QuantizedTensor:
+    """Append ``new`` rows to ``old`` (same dictionary, same width)."""
+    if old.dictionary is not new.dictionary:
+        raise ValueError("can only concatenate encodings that share a dictionary")
+
+    def join(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.concatenate([a.reshape(old.shape), b.reshape(new.shape)], axis=0)
+
+    encoded = EncodedValues(
+        is_outlier=join(old.encoded.is_outlier, new.encoded.is_outlier),
+        sign=join(old.encoded.sign, new.encoded.sign),
+        gaussian_index=join(old.encoded.gaussian_index, new.encoded.gaussian_index),
+        outlier_index=join(old.encoded.outlier_index, new.encoded.outlier_index),
+    )
+    return QuantizedTensor(
+        name=old.name,
+        shape=(old.shape[0] + new.shape[0], old.shape[1]),
+        encoded=encoded,
+        dictionary=old.dictionary,
+    )
+
+
+class IndexKVCache:
+    """Per-layer cache of *encoded* key/value rows for decoder attention.
+
+    Dictionaries are fit once per layer at :meth:`prefill` and reused
+    verbatim by every :meth:`append`, so the growing cache remains one
+    valid :class:`QuantizedTensor` per tensor: the index-domain engine
+    requires a single dictionary per operand, and per-head column slices
+    (:func:`_slice_quantized`) inherit it for free.  Appending therefore
+    encodes only the new rows — the per-token cache cost the hardware
+    would pay.
+    """
+
+    def __init__(self, quantizer: MokeyQuantizer) -> None:
+        self.quantizer = quantizer
+        self._keys: Dict[Hashable, QuantizedTensor] = {}
+        self._values: Dict[Hashable, QuantizedTensor] = {}
+
+    def __contains__(self, layer: Hashable) -> bool:
+        return layer in self._keys
+
+    def cached_tokens(self, layer: Hashable) -> int:
+        """Rows currently cached for ``layer`` (0 before prefill)."""
+        tensor = self._keys.get(layer)
+        return 0 if tensor is None else tensor.shape[0]
+
+    def prefill(self, layer: Hashable, keys: np.ndarray, values: np.ndarray) -> None:
+        """Quantize the prompt's K/V rows, fitting the layer dictionaries."""
+        if layer in self._keys:
+            raise ValueError(f"layer {layer!r} is already prefilled")
+        self._keys[layer] = self.quantizer.quantize(
+            np.asarray(keys, dtype=np.float64), f"kv.{layer}.key"
+        )
+        self._values[layer] = self.quantizer.quantize(
+            np.asarray(values, dtype=np.float64), f"kv.{layer}.value"
+        )
+
+    def append(self, layer: Hashable, keys: np.ndarray, values: np.ndarray) -> None:
+        """Encode new K/V rows with the prefill dictionaries and append."""
+        if layer not in self._keys:
+            raise ValueError(f"layer {layer!r} must be prefilled before appending")
+        key_tensor, value_tensor = self._keys[layer], self._values[layer]
+        new_keys = self.quantizer.quantize(
+            np.asarray(keys, dtype=np.float64),
+            key_tensor.name,
+            dictionary=key_tensor.dictionary,
+        )
+        new_values = self.quantizer.quantize(
+            np.asarray(values, dtype=np.float64),
+            value_tensor.name,
+            dictionary=value_tensor.dictionary,
+        )
+        self._keys[layer] = _concat_quantized(key_tensor, new_keys)
+        self._values[layer] = _concat_quantized(value_tensor, new_values)
+
+    def tensors(self, layer: Hashable) -> Tuple[QuantizedTensor, QuantizedTensor]:
+        """The cached ``(keys, values)`` quantized ``(tokens, hidden)`` tensors."""
+        return self._keys[layer], self._values[layer]
+
+
+@dataclass
+class DecodeMeasurement:
+    """Measured index-domain decoder run (prefill + autoregressive steps).
+
+    Attributes:
+        model: Configuration name the decoder was built from.
+        prompt_length: Prompt tokens processed at prefill.
+        decode_tokens: Autoregressive steps executed.
+        num_layers: Decoder layers executed.
+        gemms: Per-GEMM measurements merged over prefill and all steps.
+        stats: Operation counts merged over every GEMM.
+        prefill_seconds: Wall time of the prompt pass (index path only).
+        decode_seconds: Wall time of all decode steps (index path only).
+        tokens_per_second: Decode throughput (``decode_tokens`` over
+            ``decode_seconds``).
+        output_rms_error: RMS error of the index-domain hidden states
+            (prefill plus every decoded position, final layer) against
+            the FP decoder with an FP KV cache, relative to the FP RMS.
+        cached_tokens: K/V rows held per layer after the run.
+    """
+
+    model: str
+    prompt_length: int
+    decode_tokens: int
+    num_layers: int
+    gemms: List[GemmMeasurement] = field(default_factory=list)
+    stats: IndexComputeStats = field(default_factory=IndexComputeStats)
+    prefill_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    tokens_per_second: float = 0.0
+    output_rms_error: float = 0.0
+    cached_tokens: int = 0
+
+    @property
+    def measured_macs(self) -> int:
+        return self.stats.total_pairs
+
+    @property
+    def outlier_pair_fraction(self) -> float:
+        return self.stats.outlier_pair_fraction
+
+
+def _decoder_layer_index(
+    executor: IndexDomainEncoderExecutor,
+    measurements: Dict[str, GemmMeasurement],
+    cache: IndexKVCache,
+    layer: Hashable,
+    block: EncoderBlock,
+    hidden2d: np.ndarray,
+    causal: bool,
+) -> np.ndarray:
+    """One decoder layer over ``(tokens, hidden)`` rows, KV from the cache.
+
+    ``causal=True`` is the prefill pass (all prompt rows at once, upper
+    triangle masked); ``causal=False`` is a decode step (one new row
+    attending to the whole cache).
+    """
+    attn = block.attention
+    tokens, hidden = hidden2d.shape
+    heads, head_dim = attn.num_heads, attn.head_dim
+
+    q, k, v = executor._projection_group(
+        measurements,
+        [
+            ("attention.query", attn.query),
+            ("attention.key", attn.key),
+            ("attention.value", attn.value),
+        ],
+        hidden2d,
+        layer,
+    )
+    if layer in cache:
+        cache.append(layer, k, v)
+    else:
+        cache.prefill(layer, k, v)
+    key_tensor, value_tensor = cache.tensors(layer)
+    total = key_tensor.shape[0]
+
+    head_slices = [slice(h * head_dim, (h + 1) * head_dim) for h in range(heads)]
+    score_rows = executor._gemm_many_encoded(
+        measurements,
+        "attention.scores",
+        [(q[:, s], _slice_quantized(key_tensor, s, transpose=True)) for s in head_slices],
+    )
+    scores = np.stack(score_rows) / np.sqrt(head_dim)  # (heads, tokens, total)
+    if causal:
+        # Row i of the prefill may attend to cached positions 0..i only.
+        mask = np.triu(np.ones((tokens, total), dtype=bool), k=total - tokens + 1)
+        scores = np.where(mask[None, :, :], -1e9, scores)
+    probs = softmax(scores, axis=-1)
+
+    context_rows = executor._gemm_many_encoded(
+        measurements,
+        "attention.context",
+        [(probs[h], _slice_quantized(value_tensor, s)) for h, s in enumerate(head_slices)],
+    )
+    merged = np.concatenate(context_rows, axis=1)  # (tokens, hidden)
+
+    attn_out = executor._projection(
+        measurements, "attention.output", merged, attn.output, layer
+    )
+    hidden2d = block.attention_norm(
+        (hidden2d + attn_out).astype(np.float32)[None, :, :]
+    )[0]
+
+    inter = gelu(
+        executor._projection(
+            measurements, "ffn.intermediate", hidden2d, block.ffn.intermediate, layer
+        )
+    )
+    ffn_out = executor._projection(
+        measurements, "ffn.output", inter, block.ffn.output, layer
+    )
+    return block.output_norm((hidden2d + ffn_out).astype(np.float32)[None, :, :])[0]
+
+
+def _decoder_layer_fp(
+    block: EncoderBlock,
+    fp_cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]],
+    layer: Hashable,
+    hidden2d: np.ndarray,
+    causal: bool,
+) -> np.ndarray:
+    """The FP oracle: identical dataflow with float matmuls and an FP cache."""
+    attn = block.attention
+    tokens, hidden = hidden2d.shape
+    heads, head_dim = attn.num_heads, attn.head_dim
+
+    q = hidden2d @ attn.query.weight + attn.query.bias
+    k = hidden2d @ attn.key.weight + attn.key.bias
+    v = hidden2d @ attn.value.weight + attn.value.bias
+    if layer in fp_cache:
+        old_k, old_v = fp_cache[layer]
+        fp_cache[layer] = (np.concatenate([old_k, k]), np.concatenate([old_v, v]))
+    else:
+        fp_cache[layer] = (k, v)
+    all_k, all_v = fp_cache[layer]
+    total = all_k.shape[0]
+
+    contexts = []
+    for h in range(heads):
+        cols = slice(h * head_dim, (h + 1) * head_dim)
+        scores = (q[:, cols] @ all_k[:, cols].T) / np.sqrt(head_dim)
+        if causal:
+            mask = np.triu(np.ones((tokens, total), dtype=bool), k=total - tokens + 1)
+            scores = np.where(mask, -1e9, scores)
+        contexts.append(softmax(scores, axis=-1) @ all_v[:, cols])
+    merged = np.concatenate(contexts, axis=1)
+
+    attn_out = merged @ attn.output.weight + attn.output.bias
+    hidden2d = block.attention_norm((hidden2d + attn_out).astype(np.float32)[None])[0]
+    inter = gelu(hidden2d @ block.ffn.intermediate.weight + block.ffn.intermediate.bias)
+    ffn_out = inter @ block.ffn.output.weight + block.ffn.output.bias
+    return block.output_norm((hidden2d + ffn_out).astype(np.float32)[None])[0]
+
+
+def execute_decoder(
+    model: Union[str, TransformerConfig] = GPT_DECODER_CONFIG,
+    prompt_length: int = 16,
+    decode_tokens: int = 8,
+    num_layers: Optional[int] = None,
+    quantizer: Optional[MokeyQuantizer] = None,
+    engine: str = "vectorized",
+    device: Optional[str] = None,
+    seed: int = 0,
+    gemm_batching: bool = True,
+) -> DecodeMeasurement:
+    """Run a GPT-style decoder with an index-domain KV cache.
+
+    Prefill processes the whole synthetic prompt causally (every GEMM in
+    the index domain, K/V dictionaries fit once per layer), then each of
+    ``decode_tokens`` autoregressive steps quantizes one new input row
+    per layer, appends its K/V rows to the encoded cache and attends
+    against the full cache.  Both paths — index-domain and the FP oracle
+    with an FP KV cache — consume identical synthetic inputs, so
+    ``output_rms_error`` isolates the quantization error of the cached
+    attention path.
+
+    Args:
+        model: Decoder configuration (defaults to a GPT-2-small shape)
+            or a model-zoo name.
+        prompt_length: Prompt tokens processed at prefill.
+        decode_tokens: Autoregressive steps to execute.
+        num_layers: Optional depth cap (tests and tiny benches).
+        quantizer: Shared tensor quantizer; generated if omitted.
+        engine: Registered engine name.
+        device: Optional device for backends that take one.
+        seed: Seed for the block weights and the synthetic inputs.
+        gemm_batching: Batch per-head GEMMs into single BLAS calls.
+    """
+    config = _resolve_config(model)
+    if prompt_length < 1:
+        raise ValueError(f"prompt_length must be >= 1, got {prompt_length}")
+    if decode_tokens < 0:
+        raise ValueError(f"decode_tokens must be >= 0, got {decode_tokens}")
+    depth = config.num_layers if num_layers is None else num_layers
+    depth = min(depth, config.num_layers)
+    if depth < 1:
+        raise ValueError(f"num_layers must be >= 1, got {depth}")
+
+    blocks = [_build_block(config, seed + 10 * layer) for layer in range(depth)]
+    executor = IndexDomainEncoderExecutor(
+        quantizer=quantizer,
+        engine=engine,
+        device=device,
+        cache_weights=True,
+        gemm_batching=gemm_batching,
+    )
+    cache = IndexKVCache(executor.quantizer)
+    fp_cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
+    measurements: Dict[str, GemmMeasurement] = {}
+    rng = np.random.default_rng(seed + 7919)
+
+    index_outputs: List[np.ndarray] = []
+    fp_outputs: List[np.ndarray] = []
+
+    # --- Prefill: the whole prompt, causally masked --------------------- #
+    prompt = rng.normal(0.0, 1.0, size=(prompt_length, config.hidden_size)).astype(
+        np.float32
+    )
+    started = time.perf_counter()
+    states = prompt
+    for layer, block in enumerate(blocks):
+        states = _decoder_layer_index(
+            executor, measurements, cache, layer, block, states, causal=True
+        )
+    prefill_seconds = time.perf_counter() - started
+    index_outputs.append(states)
+
+    fp_states = prompt
+    for layer, block in enumerate(blocks):
+        fp_states = _decoder_layer_fp(block, fp_cache, layer, fp_states, causal=True)
+    fp_outputs.append(fp_states)
+
+    # --- Decode: one synthetic input row per step ----------------------- #
+    decode_started = time.perf_counter()
+    fp_pending: List[np.ndarray] = []
+    for _step in range(decode_tokens):
+        row = rng.normal(0.0, 1.0, size=(1, config.hidden_size)).astype(np.float32)
+        states = row
+        for layer, block in enumerate(blocks):
+            states = _decoder_layer_index(
+                executor, measurements, cache, layer, block, states, causal=False
+            )
+        index_outputs.append(states)
+        fp_pending.append(row)
+    decode_seconds = time.perf_counter() - decode_started
+
+    for row in fp_pending:
+        fp_states = row
+        for layer, block in enumerate(blocks):
+            fp_states = _decoder_layer_fp(block, fp_cache, layer, fp_states, causal=False)
+        fp_outputs.append(fp_states)
+
+    index_all = np.concatenate(index_outputs, axis=0)
+    fp_all = np.concatenate(fp_outputs, axis=0)
+    fp_rms = float(np.sqrt(np.mean(np.square(fp_all)))) or 1.0
+    rms_error = float(np.sqrt(np.mean(np.square(index_all - fp_all)))) / fp_rms
+
+    gemms = list(measurements.values())
+    stats = IndexComputeStats()
+    for gemm in gemms:
+        stats.merge(gemm.stats)
+    return DecodeMeasurement(
+        model=config.name,
+        prompt_length=prompt_length,
+        decode_tokens=decode_tokens,
+        num_layers=depth,
+        gemms=gemms,
+        stats=stats,
+        prefill_seconds=prefill_seconds,
+        decode_seconds=decode_seconds,
+        tokens_per_second=(decode_tokens / decode_seconds) if decode_seconds else 0.0,
+        output_rms_error=rms_error,
+        cached_tokens=cache.cached_tokens(0),
+    )

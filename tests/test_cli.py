@@ -395,7 +395,7 @@ class TestRegistryList:
     def test_lists_all_kinds(self, capsys):
         code, out, _err = run_cli(["registry", "list"], capsys)
         assert code == 0
-        for kind in ("schemes", "designs", "models", "tasks"):
+        for kind in ("schemes", "designs", "models", "tasks", "engines"):
             assert kind in out
         assert "mokey" in out
 
@@ -413,7 +413,7 @@ class TestRegistryList:
         code, out, _err = run_cli(["registry", "list", "--format", "json"], capsys)
         assert code == 0
         payload = json.loads(out)
-        assert set(payload) == {"schemes", "designs", "models", "tasks"}
+        assert set(payload) == {"schemes", "designs", "models", "tasks", "engines"}
 
     def test_unknown_kind_suggests_nearest(self, capsys):
         code, _out, err = run_cli(["registry", "list", "designz"], capsys)

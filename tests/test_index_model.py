@@ -1,0 +1,443 @@
+"""Tests for full-model index-domain execution and the KV-cache decoder.
+
+Covers the layers ISSUE 6 spans:
+
+1. :func:`repro.core.index_compute.index_domain_matmul_many` — the
+   batched GEMM API every full-model path routes through — must be a
+   pure execution strategy: identical stats and fp-close values to
+   per-pair :func:`index_domain_matmul` on any mix of shapes;
+2. engine dispatch through the ``engines`` registry — unknown names get
+   a did-you-mean :class:`RegistryError`, a missing optional torch
+   dependency fails fast with an actionable message;
+3. :mod:`repro.transformer.index_model` — whole encoder stacks (counts
+   equal depth x analytic layer MACs; batching and the weight cache
+   change wall time, never numbers) and the GPT-style decoder with an
+   encoded KV cache (growth, determinism, accuracy bound);
+4. the measured-stats join at model scope (``MeasurementSettings(scope=
+   "model")``) through ``evaluate_measured`` and the CLI flag.
+
+Everything runs at nano scale; the realistic full-width path (all of
+BERT-Base at seq 128) lives in ``benchmarks/bench_perf_index_engine.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.accelerator.workloads import encoder_gemms
+from repro.core.index_compute import (
+    IndexDomainEngine,
+    VectorizedIndexDomainEngine,
+    index_domain_matmul,
+    index_domain_matmul_many,
+    make_engine,
+    resolve_engine,
+)
+from repro.experiments import MeasurementSettings, evaluate_measured
+from repro.registry import RegistryError
+from repro.transformer.config import TransformerConfig
+from repro.transformer.index_execution import execute_encoder_layer
+from repro.transformer.index_model import (
+    GPT_DECODER_CONFIG,
+    IndexDomainModelExecutor,
+    IndexKVCache,
+    _concat_quantized,
+    _slice_quantized,
+    execute_decoder,
+    execute_model,
+)
+
+TINY_SETTINGS = MeasurementSettings(golden_samples=3000, golden_repeats=1)
+
+NANO_MODEL = "bert-nano-model-test"
+NANO_CONFIG = TransformerConfig(
+    name=NANO_MODEL,
+    num_layers=3,
+    hidden_size=32,
+    num_heads=4,
+    intermediate_size=64,
+    vocab_size=128,
+    max_position_embeddings=64,
+)
+NANO_DECODER = TransformerConfig(
+    name="gpt-nano-test",
+    num_layers=2,
+    hidden_size=32,
+    num_heads=4,
+    intermediate_size=64,
+    vocab_size=128,
+    max_position_embeddings=64,
+)
+
+
+@pytest.fixture()
+def nano_model(monkeypatch):
+    from repro.transformer.model_zoo import MODEL_CONFIGS
+
+    monkeypatch.setitem(MODEL_CONFIGS, NANO_MODEL, NANO_CONFIG)
+    return NANO_MODEL
+
+
+def _operands(quantizer, rng, m, k, n, tag):
+    activations = rng.normal(0.4, 1.5, (m, k))
+    activations.ravel()[rng.choice(m * k, max(1, (m * k) // 40), replace=False)] = 25.0
+    weights = rng.normal(0.0, 0.03, (k, n))
+    return (
+        quantizer.quantize(activations, f"{tag}.act"),
+        quantizer.quantize(weights, f"{tag}.w"),
+    )
+
+
+class TestMatmulMany:
+    def test_matches_per_pair_across_mixed_shapes(self, quantizer, rng):
+        # Two shape groups (batched) plus a singleton group.
+        pairs = [
+            _operands(quantizer, rng, 6, 16, 8, "a0"),
+            _operands(quantizer, rng, 6, 16, 8, "a1"),
+            _operands(quantizer, rng, 6, 16, 8, "a2"),
+            _operands(quantizer, rng, 4, 12, 5, "b0"),
+            _operands(quantizer, rng, 4, 12, 5, "b1"),
+            _operands(quantizer, rng, 9, 7, 3, "c0"),
+        ]
+        many = index_domain_matmul_many(pairs)
+        assert len(many) == len(pairs)
+        for (aq, wq), result in zip(pairs, many):
+            values, stats = index_domain_matmul(aq, wq)
+            assert result.stats == stats
+            np.testing.assert_allclose(result.values, values, rtol=1e-9, atol=1e-9)
+
+    def test_order_preserved_within_group(self, quantizer, rng):
+        pairs = [_operands(quantizer, rng, 5, 10, 4, f"p{i}") for i in range(4)]
+        many = index_domain_matmul_many(pairs)
+        for (aq, wq), result in zip(pairs, many):
+            solo, _ = index_domain_matmul(aq, wq)
+            np.testing.assert_allclose(result.values, solo, rtol=1e-9, atol=1e-9)
+
+    def test_scalar_engine_falls_back_per_pair(self, quantizer, rng):
+        pairs = [_operands(quantizer, rng, 3, 6, 4, f"s{i}") for i in range(2)]
+        scalar = index_domain_matmul_many(pairs, engine="scalar")
+        vectorized = index_domain_matmul_many(pairs)
+        for s, v in zip(scalar, vectorized):
+            assert s.stats == v.stats
+            np.testing.assert_allclose(s.values, v.values, rtol=1e-9, atol=1e-8)
+
+    def test_empty_input(self):
+        assert index_domain_matmul_many([]) == []
+
+    def test_mismatched_golden_fits_rejected(self, quantizer, rng):
+        from repro.core.golden_dictionary import generate_golden_dictionary
+        from repro.core.quantizer import MokeyQuantizer
+
+        other = MokeyQuantizer(
+            generate_golden_dictionary(num_samples=2000, num_repeats=1, seed=99)
+        )
+        pairs = [
+            _operands(quantizer, rng, 3, 6, 4, "m0"),
+            _operands(other, rng, 3, 6, 4, "m1"),
+        ]
+        with pytest.raises(ValueError, match="Golden Dictionary"):
+            index_domain_matmul_many(pairs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_batched_equals_per_pair(self, quantizer, seed):
+        rng = np.random.default_rng(1000 + seed)
+        shapes = [tuple(rng.integers(2, 9, size=3)) for _ in range(rng.integers(2, 5))]
+        if seed % 2:  # force at least one shape collision (a batched group)
+            shapes.append(shapes[0])
+        pairs = [
+            _operands(quantizer, rng, m, k, n, f"prop{seed}.{i}")
+            for i, (m, k, n) in enumerate(shapes)
+        ]
+        for (aq, wq), result in zip(pairs, index_domain_matmul_many(pairs)):
+            values, stats = index_domain_matmul(aq, wq)
+            assert result.stats == stats
+            np.testing.assert_allclose(result.values, values, rtol=1e-9, atol=1e-9)
+
+
+class TestEngineDispatch:
+    def test_resolve_known_engines(self):
+        assert resolve_engine("scalar") is IndexDomainEngine
+        assert resolve_engine("vectorized") is VectorizedIndexDomainEngine
+
+    def test_unknown_engine_suggests_nearest(self):
+        with pytest.raises(RegistryError, match="did you mean 'vectorized'"):
+            resolve_engine("vectorised")
+
+    def test_unknown_engine_is_value_error(self):
+        # Pre-registry callers caught ValueError; that contract holds.
+        with pytest.raises(ValueError):
+            resolve_engine("gpu")
+
+    def test_make_engine_accepts_name_or_class(self, quantizer, rng):
+        aq, wq = _operands(quantizer, rng, 3, 6, 4, "mk")
+        by_name = make_engine("vectorized", aq.dictionary, wq.dictionary)
+        by_class = make_engine(
+            VectorizedIndexDomainEngine, aq.dictionary, wq.dictionary
+        )
+        assert type(by_name) is type(by_class)
+
+    def test_executor_rejects_unknown_engine(self):
+        from repro.transformer.index_execution import IndexDomainEncoderExecutor
+
+        with pytest.raises(ValueError):
+            IndexDomainEncoderExecutor(engine="gpu")
+
+
+def _has_torch() -> bool:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.mark.skipif(
+    _has_torch(), reason="torch is installed; the missing-dependency path is unreachable"
+)
+class TestTorchAbsent:
+    def test_torch_engine_import_error_is_actionable(self):
+        from repro.core.index_compute import TorchIndexDomainEngine
+
+        with pytest.raises(ImportError, match="vectorized"):
+            TorchIndexDomainEngine.ensure_available()
+
+    def test_executor_fails_fast_without_torch(self):
+        from repro.transformer.index_execution import IndexDomainEncoderExecutor
+
+        with pytest.raises(ImportError, match="torch"):
+            IndexDomainEncoderExecutor(engine="torch")
+
+
+class TestExecuteModel:
+    def test_pairs_equal_depth_times_analytic_layer_macs(self, quantizer):
+        measurement = execute_model(
+            NANO_CONFIG, sequence_length=10, batch_size=2, quantizer=quantizer, seed=5
+        )
+        layer_macs = sum(g.macs for g in encoder_gemms(NANO_CONFIG, 10, 2))
+        assert measurement.num_layers == NANO_CONFIG.num_layers
+        assert measurement.stats.total_pairs == NANO_CONFIG.num_layers * layer_macs
+        assert len(measurement.layers) == NANO_CONFIG.num_layers
+        for layer in measurement.layers:
+            assert layer.stats.total_pairs == layer_macs
+
+    def test_batching_and_caching_change_nothing_but_time(self, quantizer):
+        baseline = execute_model(
+            NANO_CONFIG,
+            sequence_length=8,
+            quantizer=quantizer,
+            cache_weights=False,
+            gemm_batching=False,
+        )
+        optimised = execute_model(NANO_CONFIG, sequence_length=8, quantizer=quantizer)
+        assert optimised.stats == baseline.stats
+        for a, b in zip(baseline.layers, optimised.layers):
+            assert a.output_rms_error == pytest.approx(b.output_rms_error, rel=1e-9)
+            assert [g.name for g in a.gemms] == [g.name for g in b.gemms]
+        assert optimised.output_rms_error == pytest.approx(
+            baseline.output_rms_error, rel=1e-9
+        )
+
+    def test_weight_cache_hits_on_warm_forward(self, quantizer):
+        executor = IndexDomainModelExecutor(
+            NANO_CONFIG, quantizer=quantizer, seed=5
+        )
+        cold = execute_model(NANO_CONFIG, sequence_length=8, executor=executor)
+        warm = execute_model(NANO_CONFIG, sequence_length=8, executor=executor)
+        assert cold.weight_cache_hits == 0
+        # Six weight GEMMs per layer (Q, K, V, attention output, two FFN).
+        assert warm.weight_cache_hits == 6 * NANO_CONFIG.num_layers
+        assert warm.stats == cold.stats
+        assert warm.output_rms_error == pytest.approx(cold.output_rms_error, rel=1e-9)
+
+    def test_error_accumulates_monotonically_visible(self, quantizer):
+        measurement = execute_model(NANO_CONFIG, sequence_length=8, quantizer=quantizer)
+        errors = [layer.output_rms_error for layer in measurement.layers]
+        assert all(e > 0 for e in errors)
+        assert measurement.output_rms_error == errors[-1]
+        assert measurement.output_rms_error < 0.5
+
+    def test_depth_cap_and_validation(self, quantizer):
+        capped = execute_model(
+            NANO_CONFIG, sequence_length=8, num_layers=1, quantizer=quantizer
+        )
+        assert capped.num_layers == 1
+        with pytest.raises(ValueError):
+            execute_model(NANO_CONFIG, sequence_length=0, quantizer=quantizer)
+        with pytest.raises(ValueError):
+            execute_model(NANO_CONFIG, sequence_length=8, batch_size=0, quantizer=quantizer)
+        with pytest.raises(ValueError):
+            IndexDomainModelExecutor(NANO_CONFIG, num_layers=0, quantizer=quantizer)
+
+    def test_model_zoo_name_resolution(self, nano_model, quantizer):
+        measurement = execute_model(nano_model, sequence_length=8, quantizer=quantizer)
+        assert measurement.model == NANO_MODEL
+        with pytest.raises(KeyError):
+            execute_model("bert-nonexistent", quantizer=quantizer)
+
+
+class TestKVCache:
+    def test_slice_round_trips_decoded_values(self, quantizer, rng):
+        values = rng.normal(0, 1, (6, 8))
+        tensor = quantizer.quantize(values, "kv.slice")
+        window = _slice_quantized(tensor, slice(2, 6))
+        assert window.shape == (6, 4)
+        np.testing.assert_allclose(window.dequantize(), tensor.dequantize()[:, 2:6])
+        transposed = _slice_quantized(tensor, slice(2, 6), transpose=True)
+        assert transposed.shape == (4, 6)
+        assert transposed.dictionary is tensor.dictionary
+
+    def test_concat_appends_rows_under_one_dictionary(self, quantizer, rng):
+        first = quantizer.quantize(rng.normal(0, 1, (3, 5)), "kv.concat")
+        more = quantizer.quantize(
+            rng.normal(0, 1, (2, 5)), "kv.concat", dictionary=first.dictionary
+        )
+        joined = _concat_quantized(first, more)
+        assert joined.shape == (5, 5)
+        assert joined.dictionary is first.dictionary
+        np.testing.assert_allclose(joined.dequantize()[:3], first.dequantize())
+
+    def test_concat_rejects_foreign_dictionary(self, quantizer, rng):
+        first = quantizer.quantize(rng.normal(0, 1, (3, 5)), "kv.a")
+        foreign = quantizer.quantize(rng.normal(0, 1, (2, 5)), "kv.b")
+        with pytest.raises(ValueError, match="dictionary"):
+            _concat_quantized(first, foreign)
+
+    def test_prefill_then_append_grows_rows(self, quantizer, rng):
+        cache = IndexKVCache(quantizer)
+        assert 0 not in cache
+        assert cache.cached_tokens(0) == 0
+        cache.prefill(0, rng.normal(0, 1, (4, 8)), rng.normal(0, 1, (4, 8)))
+        assert 0 in cache
+        assert cache.cached_tokens(0) == 4
+        cache.append(0, rng.normal(0, 1, (1, 8)), rng.normal(0, 1, (1, 8)))
+        assert cache.cached_tokens(0) == 5
+        keys, values = cache.tensors(0)
+        assert keys.shape == (5, 8) and values.shape == (5, 8)
+
+    def test_lifecycle_errors(self, quantizer, rng):
+        cache = IndexKVCache(quantizer)
+        with pytest.raises(ValueError, match="prefilled"):
+            cache.append(0, rng.normal(0, 1, (1, 8)), rng.normal(0, 1, (1, 8)))
+        cache.prefill(0, rng.normal(0, 1, (2, 8)), rng.normal(0, 1, (2, 8)))
+        with pytest.raises(ValueError, match="already"):
+            cache.prefill(0, rng.normal(0, 1, (2, 8)), rng.normal(0, 1, (2, 8)))
+
+
+class TestExecuteDecoder:
+    def test_cache_grows_to_prompt_plus_steps(self, quantizer):
+        measurement = execute_decoder(
+            NANO_DECODER, prompt_length=6, decode_tokens=3, quantizer=quantizer
+        )
+        assert measurement.cached_tokens == 9
+        assert measurement.num_layers == NANO_DECODER.num_layers
+        assert measurement.stats.total_pairs > 0
+        assert measurement.output_rms_error < 0.5
+
+    def test_deterministic_in_seed(self, quantizer):
+        first = execute_decoder(
+            NANO_DECODER, prompt_length=5, decode_tokens=2, quantizer=quantizer, seed=3
+        )
+        second = execute_decoder(
+            NANO_DECODER, prompt_length=5, decode_tokens=2, quantizer=quantizer, seed=3
+        )
+        assert first.stats == second.stats
+        assert first.output_rms_error == second.output_rms_error
+
+    def test_batched_attention_matches_unbatched(self, quantizer):
+        batched = execute_decoder(
+            NANO_DECODER, prompt_length=5, decode_tokens=2, quantizer=quantizer
+        )
+        unbatched = execute_decoder(
+            NANO_DECODER,
+            prompt_length=5,
+            decode_tokens=2,
+            quantizer=quantizer,
+            gemm_batching=False,
+        )
+        assert batched.stats == unbatched.stats
+        assert batched.output_rms_error == pytest.approx(
+            unbatched.output_rms_error, rel=1e-9
+        )
+
+    def test_prefill_only(self, quantizer):
+        measurement = execute_decoder(
+            NANO_DECODER, prompt_length=4, decode_tokens=0, quantizer=quantizer
+        )
+        assert measurement.cached_tokens == 4
+        assert measurement.decode_seconds == 0.0 or measurement.tokens_per_second == 0.0
+
+    def test_validation(self, quantizer):
+        with pytest.raises(ValueError):
+            execute_decoder(NANO_DECODER, prompt_length=0, quantizer=quantizer)
+        with pytest.raises(ValueError):
+            execute_decoder(NANO_DECODER, decode_tokens=-1, quantizer=quantizer)
+        with pytest.raises(ValueError):
+            execute_decoder(NANO_DECODER, num_layers=0, quantizer=quantizer)
+
+    def test_default_config_is_gpt2_shaped_and_unregistered(self):
+        from repro.transformer.model_zoo import MODEL_CONFIGS
+
+        assert GPT_DECODER_CONFIG.name == "gpt2-small"
+        assert GPT_DECODER_CONFIG.num_layers == 12
+        assert "gpt2-small" not in MODEL_CONFIGS
+
+
+class TestMeasuredModelScope:
+    def test_model_scope_sums_full_depth(self, nano_model):
+        layer_scope = evaluate_measured(nano_model, 8, 1, settings=TINY_SETTINGS)
+        model_settings = MeasurementSettings(
+            golden_samples=3000, golden_repeats=1, scope="model"
+        )
+        model_scope = evaluate_measured(nano_model, 8, 1, settings=model_settings)
+        assert layer_scope.scope == "layer" and layer_scope.layers_measured == 1
+        assert model_scope.scope == "model"
+        assert model_scope.layers_measured == NANO_CONFIG.num_layers
+        depth = NANO_CONFIG.num_layers
+        assert model_scope.total_pairs == depth * layer_scope.total_pairs
+        assert model_scope.gemm_instances == depth * layer_scope.gemm_instances
+        # Different scopes never share a memo slot.
+        assert model_scope.settings_digest != layer_scope.settings_digest
+
+    def test_scope_round_trips(self, nano_model):
+        from repro.experiments import MeasuredStats
+
+        settings = MeasurementSettings(
+            golden_samples=3000, golden_repeats=1, scope="model"
+        )
+        measured = evaluate_measured(nano_model, 8, 1, settings=settings)
+        data = json.loads(json.dumps(measured.to_dict()))
+        assert MeasuredStats.from_dict(data) == measured
+        assert MeasurementSettings.from_dict(settings.to_dict()) == settings
+
+    def test_unknown_scope_rejected(self, nano_model):
+        with pytest.raises(ValueError, match="scope"):
+            evaluate_measured(
+                nano_model, 8, 1, settings=MeasurementSettings(scope="stack")
+            )
+
+    def test_cli_measured_scope_flag(self, nano_model, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments import ArtifactStore, Scenario
+
+        args = [
+            "campaign", "run",
+            "--models", nano_model,
+            "--sequence-lengths", "8",
+            "--designs", "mokey",
+            "--measured-scope", "model",
+            "--store", str(tmp_path / "store"),
+            "--format", "json",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        # The flag implies --with-measured-stats; the summary counts models.
+        assert "1 models measured" in captured.err
+        rows = json.loads(captured.out)
+        assert rows[0]["measured_gaussian_pairs"] > 0
+        stored = ArtifactStore(tmp_path / "store").get_measured(
+            Scenario(model=nano_model, sequence_length=8, design="mokey")
+        )
+        assert stored is not None
+        assert stored.scope == "model"
+        assert stored.layers_measured == NANO_CONFIG.num_layers

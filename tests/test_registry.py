@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.scenario import DESIGN_FACTORIES, available_designs, build_design
 from repro.registry import (
     DESIGNS,
+    ENGINES,
     MODELS,
     REGISTRIES,
     SCHEMES,
@@ -20,7 +21,7 @@ from repro.schemes import available_schemes, get_scheme
 
 class TestProtocol:
     def test_kinds_cover_every_pluggable_axis(self):
-        assert registry_kinds() == ("designs", "models", "schemes", "tasks")
+        assert registry_kinds() == ("designs", "engines", "models", "schemes", "tasks")
         for kind in registry_kinds():
             assert get_registry(kind) is REGISTRIES[kind]
 
@@ -55,7 +56,26 @@ class TestProtocol:
         assert "mokey" in SCHEMES and "mokey" in DESIGNS
         assert "bert-base" in MODELS
         assert "mnli" in TASKS and "classification" in TASKS
+        assert "vectorized" in ENGINES and "torch" in ENGINES
         assert "nope" not in SCHEMES
+
+    def test_engines_view_matches_backend_mapping(self):
+        from repro.core.index_compute import ENGINE_BACKENDS, available_engines
+
+        assert ENGINES.names() == available_engines()
+        for name in ENGINES.names():
+            assert ENGINES.get(name) is ENGINE_BACKENDS[name]
+
+    def test_engine_descriptions_are_static_strings(self):
+        # This suite must pass in torch-less environments: describing the
+        # torch backend comes from a static table, never from importing it.
+        from repro.core.index_compute import ENGINE_DESCRIPTIONS
+
+        described = ENGINES.describe()
+        assert described.keys() == set(ENGINES.names())
+        assert described["torch"] == ENGINE_DESCRIPTIONS["torch"]
+        assert "einsum" in described["torch"]
+        assert "oracle" in described["vectorized"]
 
 
 class TestErrors:
