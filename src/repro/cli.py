@@ -10,10 +10,14 @@ so repeated runs only simulate new grid points::
     repro campaign resume --spec spec.json   # skip already-persisted keys
     repro campaign run --paper-workloads --with-accuracy
     repro campaign run --models bert-base --with-measured-stats
+    repro campaign run --models bert-base --store-backend sqlite
     repro campaign report --design mokey --format csv
+    repro campaign report --where "total_cycles<=1e9" --order-by energy_joules --top 10
+    repro campaign report --group-by model design --order-by -count
     repro campaign list
     repro campaign clean --yes
-    repro registry list              # the five pluggable-axis registries
+    repro store migrate old-store new-store --to-backend sqlite
+    repro registry list              # the six pluggable-axis registries
     repro registry list schemes      # one registry's entries, described
     repro table1                 # the paper's eight Table I fidelity rows
     repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
@@ -31,7 +35,11 @@ served from disk.
 
 The store location is ``--store DIR``, the spec's execution policy, the
 ``REPRO_STORE`` environment variable, or ``./.repro-store`` in that order
-of precedence.
+of precedence.  ``--store-backend {jsonl,sqlite}`` picks the storage
+engine (default: whatever layout the directory already holds, JSONL for
+a fresh one); with SQLite, ``campaign report``/``list`` filters,
+grouping, ordering and ``--top`` are pushed down into the database
+instead of deserializing every record.
 """
 
 from __future__ import annotations
@@ -48,7 +56,6 @@ from repro.analysis.fidelity import joint_rows, table1_rows
 from repro.analysis.reporting import RECORD_FORMATS, format_records
 from repro.experiments import (
     EXECUTORS,
-    ArtifactStore,
     AxisGrid,
     CampaignSpec,
     Enrichments,
@@ -58,7 +65,11 @@ from repro.experiments import (
     ScenarioRecord,
     UnsupportedSchemeError,
     available_designs,
+    available_store_backends,
     iter_campaign,
+    migrate_store,
+    open_store,
+    parse_filter,
     run_spec,
     supported_accuracy_schemes,
     supports_accuracy,
@@ -99,6 +110,20 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="artifact store directory (default: $REPRO_STORE or ./.repro-store)",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=available_store_backends(),
+        default=None,
+        help="storage engine for the store directory (default: whatever "
+        "layout the directory already holds, jsonl for a fresh one)",
+    )
+
+
+def _open_cli_store(args: argparse.Namespace):
+    """Open the command's store under the chosen (or detected) backend."""
+    return open_store(
+        args.store or _default_store(), backend=getattr(args, "store_backend", None)
     )
 
 
@@ -301,11 +326,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = actions.add_parser(
         "report",
-        help="format stored records",
-        description="Render records from the artifact store, optionally filtered.",
+        help="format stored records (filters/grouping push down into the store)",
+        description=(
+            "Render records from the artifact store, optionally filtered, "
+            "grouped, ordered and limited. Filters, --group-by, --order-by "
+            "and --top are pushed down into the store backend — with SQLite "
+            "they run server-side over indexed columns instead of "
+            "deserializing every record."
+        ),
     )
     _add_store_argument(report)
     _add_filter_arguments(report)
+    report.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD<OP>VALUE",
+        help="pushdown filter on a scenario axis or result metric, e.g. "
+        "model=bert-base or 'total_cycles<=1e9' (ops: == != < <= > >=; "
+        "repeatable, all must match)",
+    )
+    report.add_argument(
+        "--group-by",
+        nargs="+",
+        default=None,
+        metavar="AXIS",
+        help="aggregate per distinct axis combination instead of listing "
+        "records (columns: count, with_fidelity, with_measured, "
+        "min/mean of total_cycles and energy_joules)",
+    )
+    report.add_argument(
+        "--order-by",
+        default=None,
+        metavar="FIELD",
+        help="order records (or grouped rows) by this field; prefix with "
+        "'-' for descending, e.g. --order-by -total_cycles",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the first N records (or grouped rows)",
+    )
     _add_format_arguments(report)
 
     list_cmd = actions.add_parser(
@@ -323,13 +386,47 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--yes", action="store_true", help="actually delete (no prompt)")
     _add_store_argument(clean)
 
+    store_cmd = commands.add_parser(
+        "store",
+        help="manage artifact stores (backend migration)",
+        description=(
+            "Operations on artifact-store directories themselves, "
+            "independent of any campaign."
+        ),
+    )
+    store_actions = store_cmd.add_subparsers(dest="action", required=True)
+    migrate = store_actions.add_parser(
+        "migrate",
+        help="copy every record of one store into another (e.g. jsonl -> sqlite)",
+        description=(
+            "Stream every readable record of SOURCE into DEST, preserving "
+            "keys, insertion order and record digests exactly. Unreadable "
+            "source records are skipped and reported; keys already in DEST "
+            "merge under the normal upgrade semantics."
+        ),
+    )
+    migrate.add_argument("source", metavar="SOURCE", help="source store directory")
+    migrate.add_argument("dest", metavar="DEST", help="destination store directory")
+    migrate.add_argument(
+        "--from-backend",
+        choices=available_store_backends(),
+        default=None,
+        help="backend of SOURCE (default: detected from its layout)",
+    )
+    migrate.add_argument(
+        "--to-backend",
+        choices=available_store_backends(),
+        default=None,
+        help="backend of DEST (default: detected from its layout, jsonl if fresh)",
+    )
+
     registry = commands.add_parser(
         "registry",
         help="inspect the pluggable-axis registries",
         description=(
             "The unified registry surface: every pluggable axis of the "
-            "campaign grid (schemes, designs, models, tasks) behind one "
-            "names/get/describe protocol."
+            "campaign grid (schemes, designs, models, tasks, engines, "
+            "store backends) behind one names/get/describe protocol."
         ),
     )
     registry_actions = registry.add_subparsers(dest="action", required=True)
@@ -497,7 +594,11 @@ def _resolve_spec_store(args: argparse.Namespace, spec: CampaignSpec) -> Campaig
     """
     if getattr(args, "no_store", False):
         return spec.with_execution(store=None)
-    return spec.with_execution(store=args.store or spec.execution.store or _default_store())
+    changes = {"store": args.store or spec.execution.store or _default_store()}
+    backend = getattr(args, "store_backend", None)
+    if backend is not None:
+        changes["store_backend"] = backend
+    return spec.with_execution(**changes)
 
 
 def _stream_records(
@@ -588,7 +689,7 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
 def _cmd_resume(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     # Resuming is the whole point of this command, whatever the spec says.
     spec = _resolve_spec_store(args, _spec_from_args(parser, args)).with_execution(resume=True)
-    already_stored = len(ArtifactStore(spec.execution.store))
+    already_stored = len(open_store(spec.execution.store, backend=spec.execution.store_backend))
     started = time.perf_counter()
     try:
         records, last_progress = _stream_records(spec, progress_to_stderr=args.progress)
@@ -646,7 +747,7 @@ def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     # fidelity is never read) so --joint can pair speedup/energy.
     scheme = None if args.scheme == "mokey" else args.scheme
     workloads = tuple((model, task, seq) for (model, task, seq, _head) in PAPER_MODELS)
-    store = None if args.no_store else ArtifactStore(args.store or _default_store())
+    store = None if args.no_store else _open_cli_store(args)
     cache = ResultCache(store=store)
     execution = ExecutionPolicy(executor=args.executor, max_workers=args.workers)
     started = time.perf_counter()
@@ -684,9 +785,53 @@ def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     return 0
 
 
-def _stored_records(args: argparse.Namespace) -> List[ScenarioRecord]:
-    store = ArtifactStore(args.store or _default_store())
-    return [
+def _report_filters(args: argparse.Namespace) -> List[Tuple[str, str, object]]:
+    """The pushdown filter list: legacy axis flags plus parsed ``--where``."""
+    filters: List[Tuple[str, str, object]] = []
+    for field, wanted in (
+        ("model", args.model),
+        ("task", args.task),
+        ("design", args.design),
+        ("batch_size", args.batch_size),
+        ("buffer_bytes", None if args.buffer_kb is None else args.buffer_kb * KB),
+    ):
+        if wanted is not None:
+            filters.append((field, "==", wanted))
+    for text in args.where:
+        filters.append(parse_filter(text))
+    return filters
+
+
+def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    store = _open_cli_store(args)
+    try:
+        filters = _report_filters(args)
+        if args.group_by is not None:
+            if args.scheme is not None:
+                parser.error(
+                    "--scheme cannot combine with --group-by (its column mixes "
+                    "the override with the design name); filter the raw axis "
+                    "with --where scheme=NAME instead"
+                )
+            rows = store.query(
+                filters, group_by=args.group_by, order_by=args.order_by, limit=args.top
+            )
+            if not rows:
+                print("no matching records in the store", file=sys.stderr)
+                return 1
+            summary = f"{len(rows)} groups from {store.root}"
+            _emit(format_records(rows, args.format), summary, args.output)
+            return 0
+        # --scheme matches what the scheme *column* shows (the override if
+        # set, else the design name), which needs the result payload — so
+        # it stays a Python post-filter over the pushed-down stream, and
+        # --top is applied after it.
+        limit = args.top if args.scheme is None else None
+        entries = store.query(filters, order_by=args.order_by, limit=limit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records = [
         ScenarioRecord(
             scenario=entry.scenario,
             result=entry.result,
@@ -694,65 +839,68 @@ def _stored_records(args: argparse.Namespace) -> List[ScenarioRecord]:
             fidelity=entry.fidelity,
             measured=entry.measured,
         )
-        for entry in store.records()
+        for entry in entries
     ]
-
-
-def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    records = _stored_records(args)
-    filters = {
-        "model": args.model,
-        "task": args.task,
-        "design": args.design,
-        "batch_size": args.batch_size,
-        "buffer_bytes": None if args.buffer_kb is None else args.buffer_kb * KB,
-    }
-    for field, wanted in filters.items():
-        if wanted is not None:
-            records = [r for r in records if getattr(r.scenario, field) == wanted]
     if args.scheme is not None:
-        # Match what the scheme column shows: the override if set, else the
-        # design name (records with no override have scenario.scheme=None).
         records = [
             r
             for r in records
             if (r.scenario.scheme or r.result.design_name) == args.scheme
         ]
+        if args.top is not None:
+            records = records[: args.top]
     if not records:
         print("no matching records in the store", file=sys.stderr)
         return 1
-    summary = f"{len(records)} records from {ArtifactStore(args.store or _default_store()).root}"
+    summary = f"{len(records)} records from {store.root}"
     _emit(format_records([r.to_row() for r in records], args.format), summary, args.output)
     return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    store = ArtifactStore(args.store or _default_store())
-    records = list(store.records())
-    print(f"store: {store.root} — {len(records)} records")
+    store = _open_cli_store(args)
+    # One grouped pushdown query answers the whole summary — per
+    # (model, design) counts plus the fidelity/measured tallies — without
+    # deserializing any record payloads.
+    rows = store.query(group_by=("model", "design"))
+    total = sum(row["count"] for row in rows)
+    print(f"store: {store.root} — {total} records")
     if store.skipped:
-        print(f"  ({store.skipped} unreadable/old-schema lines skipped)")
-    counts: dict = {}
-    with_fidelity = 0
-    with_measured = 0
-    for entry in records:
-        key = (entry.scenario.model, entry.scenario.design)
-        counts[key] = counts.get(key, 0) + 1
-        if entry.fidelity is not None:
-            with_fidelity += 1
-        if entry.measured is not None:
-            with_measured += 1
+        print(f"  ({store.skipped} unreadable/old-schema records skipped)")
+    with_fidelity = sum(row["with_fidelity"] for row in rows)
+    with_measured = sum(row["with_measured"] for row in rows)
     if with_fidelity:
         print(f"  ({with_fidelity} records carry fidelity results)")
     if with_measured:
         print(f"  ({with_measured} records carry measured index-domain stats)")
-    for (model, design), count in sorted(counts.items()):
-        print(f"  {model} on {design}: {count}")
+    for row in rows:
+        print(f"  {row['model']} on {row['design']}: {row['count']}")
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    source = open_store(args.source, backend=args.from_backend)
+    if not source.path.exists():
+        print(f"error: no {source.backend_name} store at {source.path}", file=sys.stderr)
+        return 2
+    try:
+        dest = open_store(args.dest, backend=args.to_backend)
+        stored = migrate_store(source, dest)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = (
+        f"migrated {stored} records: {source.root} ({source.backend_name}) "
+        f"-> {dest.root} ({dest.backend_name})"
+    )
+    if source.skipped:
+        summary += f" [{source.skipped} unreadable source records skipped]"
+    print(summary)
     return 0
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:
-    store = ArtifactStore(args.store or _default_store())
+    store = _open_cli_store(args)
     count = len(store)
     if not args.yes:
         print(
@@ -779,6 +927,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(args)
         if args.action == "clean":
             return _cmd_clean(args)
+    if args.command == "store":
+        if args.action == "migrate":
+            return _cmd_store_migrate(args)
     if args.command == "registry":
         return _cmd_registry_list(args)
     if args.command == "table1":

@@ -15,7 +15,11 @@ share one sweep loop instead of each re-implementing it:
   optionally layered over an on-disk store;
 * :class:`~repro.experiments.store.ArtifactStore` — content-addressed
   JSONL store persisting results across processes, so repeated campaigns
-  only simulate new grid points;
+  only simulate new grid points; one of two pluggable
+  :class:`~repro.experiments.store.StoreBackend` implementations
+  (``open_store(root, backend=...)``) next to the indexed, WAL-mode
+  :class:`~repro.experiments.store_sqlite.SqliteStoreBackend`, which adds
+  server-side ``query()`` pushdown and concurrent shard writers;
 * :class:`~repro.experiments.spec.CampaignSpec` — the declarative front
   door: a frozen, JSON-round-trippable experiment description (axes grid
   + enrichments + execution policy) validated against the unified
@@ -108,7 +112,24 @@ from repro.experiments.campaign import (
     run_scenario,
     stream_campaign,
 )
-from repro.experiments.store import SCHEMA_VERSION, ArtifactStore, StoreEntry, scenario_key
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    StoreBackend,
+    StoreEntry,
+    available_store_backends,
+    detect_store_backend,
+    migrate_store,
+    open_store,
+    parse_filter,
+    register_store_backend,
+    scenario_key,
+)
+
+# Importing the SQLite backend registers it in STORE_BACKENDS; it must
+# come after ``store`` (it imports the protocol from there), which Python
+# guarantees by importing the parent package first.
+from repro.experiments.store_sqlite import SqliteStoreBackend
 from repro.experiments.spec import (
     AxisGrid,
     CampaignSpec,
@@ -152,7 +173,15 @@ __all__ = [
     "stream_campaign",
     "SCHEMA_VERSION",
     "ArtifactStore",
+    "SqliteStoreBackend",
+    "StoreBackend",
     "StoreEntry",
+    "available_store_backends",
+    "detect_store_backend",
+    "migrate_store",
+    "open_store",
+    "parse_filter",
+    "register_store_backend",
     "scenario_key",
     "AxisGrid",
     "CampaignSpec",

@@ -121,6 +121,20 @@ class ResultCache:
     def backing_store(self) -> Optional[Any]:
         return self._store
 
+    def query(self, *args: Any, **kwargs: Any) -> Any:
+        """Run a pushdown query against the backing store.
+
+        Passes through to the store backend's
+        :meth:`~repro.experiments.store.StoreBackend.query` (filters /
+        ``group_by`` / ``order_by`` / ``limit``), which evaluates it
+        server-side when the backend supports it (SQLite).  Raises
+        ``ValueError`` when the cache has no backing store — the
+        in-memory maps are keyed for exact lookup, not scans.
+        """
+        if self._store is None:
+            raise ValueError("ResultCache.query needs a backing store (ResultCache(store=...))")
+        return self._store.query(*args, **kwargs)
+
     def __len__(self) -> int:
         return len(self._results)
 

@@ -58,7 +58,7 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.measured import MeasurementSettings
 from repro.experiments.scenario import KB, Scenario
-from repro.experiments.store import ArtifactStore
+from repro.experiments.store import StoreBackend, open_store
 
 __all__ = [
     "AxisGrid",
@@ -221,6 +221,10 @@ class ExecutionPolicy:
         store: Artifact-store directory; ``None`` keeps everything in
             memory.  With a store, every completed scenario is appended
             incrementally, making the campaign killable and resumable.
+        store_backend: Which registered store backend (``"jsonl"`` /
+            ``"sqlite"``) to open the store directory under; ``None``
+            (the default) keeps whatever layout the directory already
+            holds, falling back to JSONL for a fresh directory.
         resume: When the store already holds a scenario's key, serve it
             from disk instead of re-simulating (the default).  With
             ``resume=False`` the store is kept out of the lookup path —
@@ -231,6 +235,7 @@ class ExecutionPolicy:
     max_workers: Optional[int] = None
     chunksize: Optional[int] = None
     store: Optional[str] = None
+    store_backend: Optional[str] = None
     resume: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
@@ -239,6 +244,7 @@ class ExecutionPolicy:
             "max_workers": self.max_workers,
             "chunksize": self.chunksize,
             "store": self.store,
+            "store_backend": self.store_backend,
             "resume": bool(self.resume),
         }
 
@@ -319,6 +325,8 @@ class CampaignSpec:
                 f"unknown executor {self.execution.executor!r} "
                 f"(choose from {', '.join(EXECUTORS)})"
             )
+        if self.execution.store_backend is not None:
+            registry.STORES.get(self.execution.store_backend)
         return self
 
     def scenarios(self) -> List[Scenario]:
@@ -372,11 +380,11 @@ class CampaignSpec:
         return replace(self, enrichments=replace(self.enrichments, **changes))
 
 
-def _policy_cache(policy: ExecutionPolicy) -> Tuple[ResultCache, Optional[ArtifactStore]]:
+def _policy_cache(policy: ExecutionPolicy) -> Tuple[ResultCache, Optional[StoreBackend]]:
     """Build the cache (and possibly a write-only store) the policy asks for."""
     if policy.store is None:
         return ResultCache(), None
-    store = ArtifactStore(policy.store)
+    store = open_store(policy.store, backend=policy.store_backend)
     if policy.resume:
         return ResultCache(store=store), None
     # resume=False: keep the store out of the lookup path (everything

@@ -1,10 +1,11 @@
 """Unified registry surface over every pluggable axis of the evaluation.
 
-The evaluation exposes five pluggable axes — quantization schemes,
-accelerator designs, model-zoo configurations, evaluation tasks and
-index-domain compute engines — and each historically exposed its own
-lookup idiom (``get_scheme``, ``build_design``/``DESIGN_FACTORIES``,
-``MODEL_CONFIGS``, ``task_family``, ``ENGINE_BACKENDS``).  This module
+The evaluation exposes six pluggable axes — quantization schemes,
+accelerator designs, model-zoo configurations, evaluation tasks,
+index-domain compute engines and artifact-store backends — and each
+historically exposed its own lookup idiom (``get_scheme``,
+``build_design``/``DESIGN_FACTORIES``, ``MODEL_CONFIGS``,
+``task_family``, ``ENGINE_BACKENDS``, ``STORE_BACKENDS``).  This module
 puts one :class:`Registry` protocol in
 front of all of them: ``names()`` / ``get()`` / ``describe()`` plus
 entry-point-style registration, so spec validation, the CLI
@@ -206,6 +207,9 @@ from repro.core.index_compute import (  # noqa: E402
     ENGINE_BACKENDS as _ENGINE_BACKENDS,
     ENGINE_DESCRIPTIONS as _ENGINE_DESCRIPTIONS,
 )
+from repro.experiments.store import (  # noqa: E402
+    STORE_BACKENDS as _STORE_BACKENDS,
+)
 
 
 def _describe_scheme(name: str, scheme: Any) -> str:
@@ -282,6 +286,16 @@ def _describe_engine(name: str, cls: Any) -> str:
 #: executors, measured campaigns) resolves through.
 ENGINES = Registry("engines", _ENGINE_BACKENDS, _describe_engine)
 
+def _describe_store(name: str, backend: Any) -> str:
+    doc = (backend.__doc__ or "artifact-store backend").strip()
+    return doc.splitlines()[0]
+
+
+#: Live view over ``STORE_BACKENDS``: the artifact-store backends
+#: ``open_store``/``--store-backend`` resolve through (JSONL default,
+#: indexed WAL-mode SQLite for big grids and concurrent writers).
+STORES = Registry("stores", _STORE_BACKENDS, _describe_store)
+
 #: The registry of registries: every pluggable axis by kind.
 REGISTRIES: Dict[str, Registry] = {
     "schemes": SCHEMES,
@@ -289,6 +303,7 @@ REGISTRIES: Dict[str, Registry] = {
     "models": MODELS,
     "tasks": TASKS,
     "engines": ENGINES,
+    "stores": STORES,
 }
 
 

@@ -413,7 +413,7 @@ class TestRegistryList:
         code, out, _err = run_cli(["registry", "list", "--format", "json"], capsys)
         assert code == 0
         payload = json.loads(out)
-        assert set(payload) == {"schemes", "designs", "models", "tasks", "engines"}
+        assert set(payload) == {"schemes", "designs", "models", "tasks", "engines", "stores"}
 
     def test_unknown_kind_suggests_nearest(self, capsys):
         code, _out, err = run_cli(["registry", "list", "designz"], capsys)
@@ -434,6 +434,123 @@ def test_table1_unknown_scheme_subprocess_has_no_traceback(tmp_path):
     assert proc.returncode == 2
     assert "Traceback" not in proc.stderr
     assert len(proc.stderr.strip().splitlines()) == 1
+
+
+class TestStoreBackendsCli:
+    def _run_grid(self, store, capsys, backend=None):
+        args = [
+            "campaign", "run",
+            "--models", "bert-base", "bert-large",
+            "--designs", "mokey", "tensor-cores",
+            "--store", store,
+        ]
+        if backend is not None:
+            args += ["--store-backend", backend]
+        return run_cli(args, capsys)
+
+    def test_sqlite_campaign_run_and_cached_rerun(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code, _out, err = self._run_grid(store, capsys, backend="sqlite")
+        assert code == 0
+        assert "4 simulated" in err
+        assert (tmp_path / "store" / "records.sqlite").exists()
+        assert not (tmp_path / "store" / "records.jsonl").exists()
+        # The second run auto-detects the backend: no --store-backend needed.
+        code, _out, err = self._run_grid(store, capsys)
+        assert code == 0
+        assert "0 simulated" in err
+
+    def test_report_where_and_top_on_sqlite(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", store, "--where", "design=mokey",
+             "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 2
+        assert {row["design"] for row in rows} == {"mokey"}
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", store, "--order-by=-total_cycles",
+             "--top", "1", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        assert len(json.loads(out)) == 1
+
+    def test_report_group_by_on_sqlite(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", store, "--group-by", "model", "design",
+             "--order-by=-count", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 4
+        assert all(row["count"] == 1 for row in rows)
+        assert {"model", "design", "count", "with_fidelity"} <= set(rows[0])
+
+    def test_report_scheme_conflicts_with_group_by(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        with pytest.raises(SystemExit):
+            main(["campaign", "report", "--store", store, "--scheme", "mokey",
+                  "--group-by", "model"])
+        capsys.readouterr()
+
+    def test_report_bad_where_field_is_a_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        code, _out, err = run_cli(
+            ["campaign", "report", "--store", store, "--where", "modle=x"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'model'?" in err
+
+    def test_list_on_sqlite_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        code, out, _err = run_cli(["campaign", "list", "--store", store], capsys)
+        assert code == 0
+        assert "4 records" in out
+
+    def test_store_migrate_round_trip(self, tmp_path, capsys):
+        jsonl_store = str(tmp_path / "a")
+        self._run_grid(jsonl_store, capsys)  # default jsonl
+        code, out, _err = run_cli(
+            ["store", "migrate", jsonl_store, str(tmp_path / "b"),
+             "--to-backend", "sqlite"],
+            capsys,
+        )
+        assert code == 0
+        assert "migrated 4 records" in out
+        assert (tmp_path / "b" / "records.sqlite").exists()
+        code, out, _err = run_cli(
+            ["store", "migrate", str(tmp_path / "b"), str(tmp_path / "c"),
+             "--to-backend", "jsonl"],
+            capsys,
+        )
+        assert code == 0
+        assert "migrated 4 records" in out
+        original = (tmp_path / "a" / "records.jsonl").read_text()
+        round_tripped = (tmp_path / "c" / "records.jsonl").read_text()
+        assert round_tripped == original
+
+    def test_store_migrate_missing_source_fails(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["store", "migrate", str(tmp_path / "nope"), str(tmp_path / "dst")], capsys
+        )
+        assert code == 2
+        assert "no jsonl store at" in err
+
+    def test_registry_list_stores(self, capsys):
+        code, out, _err = run_cli(["registry", "list", "stores"], capsys)
+        assert code == 0
+        assert "jsonl" in out and "sqlite" in out
 
 
 def test_python_dash_m_entry_point(tmp_path):

@@ -21,7 +21,9 @@ from repro.schemes import available_schemes, get_scheme
 
 class TestProtocol:
     def test_kinds_cover_every_pluggable_axis(self):
-        assert registry_kinds() == ("designs", "engines", "models", "schemes", "tasks")
+        assert registry_kinds() == (
+            "designs", "engines", "models", "schemes", "stores", "tasks"
+        )
         for kind in registry_kinds():
             assert get_registry(kind) is REGISTRIES[kind]
 

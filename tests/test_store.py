@@ -169,6 +169,56 @@ class TestArtifactStore:
         assert not store.path.exists()
         assert store.get(scenario) is None
 
+    def test_clear_then_external_writes_report_fresh_state(self, tmp_path):
+        """Bug lock: clear() must invalidate the index, not pin an empty one.
+
+        Historically clear() left an empty in-memory index behind, so
+        records appended to the file afterwards (by another process) and
+        their skipped count stayed invisible to this instance forever.
+        """
+        store = ArtifactStore(tmp_path)
+        scenario = Scenario()
+        store.put(scenario, run_scenario(scenario))
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("corrupt line\n")
+        store.clear()
+        # Another process writes a record (and a bad line) after the clear.
+        ArtifactStore(tmp_path).put(scenario, run_scenario(scenario))
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("another corrupt line\n")
+        assert len(store) == 1
+        assert store.skipped == 1
+        assert store.get(scenario) is not None
+
+    def test_records_streams_lazily(self, tmp_path):
+        """records() must be a generator over the index, not a full copy."""
+        import types
+
+        store = ArtifactStore(tmp_path)
+        scenarios = [Scenario(buffer_bytes=(i + 1) * 64 * KB) for i in range(4)]
+        for scenario in scenarios:
+            store.put(scenario, run_scenario(scenario))
+        stream = store.records()
+        assert isinstance(stream, types.GeneratorType)
+        first = next(stream)
+        assert first.scenario == scenarios[0]
+        # Interleaved writes while a consumer holds the generator are safe
+        # (the key snapshot was taken up front; later puts don't appear).
+        late = Scenario(buffer_bytes=9 * 64 * KB)
+        store.put(late, run_scenario(late))
+        rest = [entry.scenario for entry in stream]
+        assert rest == scenarios[1:]
+
+    def test_records_generator_survives_concurrent_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        scenarios = [Scenario(buffer_bytes=(i + 1) * 64 * KB) for i in range(3)]
+        for scenario in scenarios:
+            store.put(scenario, run_scenario(scenario))
+        stream = store.records()
+        next(stream)
+        store.clear()
+        assert list(stream) == []  # ends cleanly instead of yielding stale entries
+
 
 class TestStoreBackedCache:
     def test_store_hits_resolve_without_simulation(self, tmp_path):
