@@ -90,28 +90,42 @@ def test_perf_streaming_overhead_under_5_percent():
 
     Both paths run the same streaming engine underneath, so any real gap
     is structural (e.g. per-event work leaking into the generator).
-    Best-of-5, alternating A/B to decorrelate thermal/scheduler noise.
+    Three rounds of best-of-3 per side, alternating A/B inside each round
+    to decorrelate thermal/scheduler noise; the guard compares the
+    *median* of the per-round best ratios, so one lucky (or unlucky)
+    round cannot swing the verdict.  The recorded fraction is clamped at
+    0 — streaming measuring faster than batch is timer noise, and a
+    negative "overhead" in BENCH_PERF.json would read as if streaming
+    were structurally cheaper than the engine it wraps.
     """
-    rounds = 5
+    rounds, reps = 3, 3
+    ratios = []
     batch_best = float("inf")
     stream_best = float("inf")
     record_count = None
     for _ in range(rounds):
-        started = time.perf_counter()
-        campaign = run_spec(SPEC)
-        batch_best = min(batch_best, time.perf_counter() - started)
-        assert campaign.simulated_count == len(campaign)
+        round_batch = float("inf")
+        round_stream = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            campaign = run_spec(SPEC)
+            round_batch = min(round_batch, time.perf_counter() - started)
+            assert campaign.simulated_count == len(campaign)
 
-        started = time.perf_counter()
-        records = [record for record, _progress in iter_campaign(SPEC)]
-        stream_best = min(stream_best, time.perf_counter() - started)
-        record_count = len(records)
+            started = time.perf_counter()
+            records = [record for record, _progress in iter_campaign(SPEC)]
+            round_stream = min(round_stream, time.perf_counter() - started)
+            record_count = len(records)
+        ratios.append(round_stream / round_batch)
+        batch_best = min(batch_best, round_batch)
+        stream_best = min(stream_best, round_stream)
 
-    overhead = stream_best / batch_best - 1.0
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    overhead = max(0.0, median_ratio - 1.0)
     print(
         f"\nstreaming overhead: batch {batch_best * 1e3:.1f} ms, "
         f"streamed {stream_best * 1e3:.1f} ms over {record_count} records "
-        f"({overhead * 100:+.1f}%)"
+        f"(median ratio {median_ratio:.3f}, reported overhead {overhead * 100:.1f}%)"
     )
     record_perf(
         "campaign_streaming_overhead",
@@ -119,9 +133,11 @@ def test_perf_streaming_overhead_under_5_percent():
             "records": record_count,
             "batch_best_seconds": batch_best,
             "streaming_best_seconds": stream_best,
+            "median_ratio": median_ratio,
             "overhead_fraction": overhead,
         },
     )
-    assert overhead < 0.05, (
-        f"streaming path {overhead * 100:.1f}% slower than batch (allowed: 5%)"
+    assert median_ratio - 1.0 < 0.05, (
+        f"streaming path {(median_ratio - 1.0) * 100:.1f}% slower than batch "
+        f"(median of {rounds} best-of-{reps} rounds; allowed: 5%)"
     )

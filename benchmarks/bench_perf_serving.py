@@ -1,0 +1,96 @@
+"""Perf benchmark of the serving-trace replay loop (requests per second).
+
+Writes the ``serving`` section of ``BENCH_PERF.json``: how fast the
+deterministic event loop in :func:`repro.serving.replay.replay_trace`
+replays a Poisson arrival trace once every batch-shape cost is memoised.
+The replay is the per-request hot path of ``repro serve-sim`` — the whole
+design bet is that a million-request trace costs only ``max_batch`` real
+simulations plus a cheap pure loop, so the loop's throughput floor *is*
+the feature.  A second measurement replays the same trace through a
+fresh :class:`~repro.serving.spec.ServingSpec` run to pin down the
+end-to-end invariant: real simulator invocations never exceed the number
+of distinct formed batch sizes.
+"""
+
+import time
+
+from conftest import TINY_MODE, record_perf
+
+from repro.experiments import ResultCache
+from repro.serving import (
+    BatchCostModel,
+    PolicySpec,
+    ServingSpec,
+    TraceSpec,
+    generate_trace,
+    replay_trace,
+    run_serving,
+)
+
+if TINY_MODE:
+    NUM_REQUESTS = 20_000
+    REPLAY_FLOOR_RPS = 5_000.0
+else:
+    NUM_REQUESTS = 200_000
+    REPLAY_FLOOR_RPS = 20_000.0
+
+TRACE = TraceSpec(kind="poisson", rate_rps=150.0, num_requests=NUM_REQUESTS, seed=11)
+POLICY = PolicySpec(kind="timeout", max_batch=8, timeout_ms=10.0)
+
+
+def test_perf_serving_replay_throughput():
+    spec = ServingSpec(
+        name="perf-serving",
+        schemes=("mokey-oc",),
+        trace=TRACE,
+        policy=POLICY,
+    )
+    arrivals = generate_trace(TRACE)
+    (base,) = spec.combos()
+
+    # Pre-warm: every formable batch size (1..max_batch) simulates once,
+    # so the measured loop is pure replay — no simulator on the clock.
+    model = BatchCostModel(base, cache=ResultCache())
+    for size in range(1, POLICY.max_batch + 1):
+        model.cost(size)
+    warm_sims = model.simulated
+
+    started = time.perf_counter()
+    replay = replay_trace(arrivals, POLICY, model.cost)
+    replay_seconds = time.perf_counter() - started
+    metrics = replay.metrics
+    rate = metrics.requests / replay_seconds
+    assert metrics.requests == NUM_REQUESTS
+    # Warm model: the replay itself must not touch the simulator.
+    assert model.simulated == warm_sims
+
+    # End-to-end invariant through the spec layer (fresh cache): the
+    # real simulator runs at most once per distinct formed batch size.
+    result = run_serving(spec.with_execution(executor="serial", store=None))
+    (record,) = result.records
+    assert record.simulated <= record.metrics.distinct_batch_sizes
+    assert record.metrics.to_dict() == metrics.to_dict()
+
+    print(
+        f"\nserving replay: {metrics.requests} requests in "
+        f"{replay_seconds * 1e3:.1f} ms ({rate:.0f}/s), "
+        f"{metrics.batches} batches, {metrics.distinct_batch_sizes} distinct "
+        f"shapes, {record.simulated} sims, p50 {metrics.p50_ms:.1f} ms, "
+        f"p99 {metrics.p99_ms:.1f} ms"
+    )
+    record_perf(
+        "serving",
+        {
+            "requests": metrics.requests,
+            "replay_seconds": replay_seconds,
+            "requests_per_second": rate,
+            "batches": metrics.batches,
+            "distinct_batch_sizes": metrics.distinct_batch_sizes,
+            "sim_invocations": record.simulated,
+            "p50_ms": metrics.p50_ms,
+            "p99_ms": metrics.p99_ms,
+        },
+    )
+    # The replay loop is numpy-sliced per batch, not per request; anything
+    # below this floor means per-request Python work crept into the loop.
+    assert rate > REPLAY_FLOOR_RPS

@@ -17,7 +17,9 @@ so repeated runs only simulate new grid points::
     repro campaign list
     repro campaign clean --yes
     repro store migrate old-store new-store --to-backend sqlite
-    repro registry list              # the six pluggable-axis registries
+    repro serve-sim --schemes mokey-oc fp16 --rate 100 --requests 10000
+    repro serve-sim --trace bursty --policy max-batch --max-batch 16 --slo-ms 50
+    repro registry list              # the eight pluggable-axis registries
     repro registry list schemes      # one registry's entries, described
     repro table1                 # the paper's eight Table I fidelity rows
     repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
@@ -50,7 +52,7 @@ import os
 import sys
 import time
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.fidelity import joint_rows, table1_rows
 from repro.analysis.reporting import RECORD_FORMATS, format_records
@@ -76,6 +78,14 @@ from repro.experiments import (
 )
 from repro.registry import RegistryError, get_registry, registry_kinds
 from repro.schemes import available_schemes
+from repro.serving import (
+    POLICY_KINDS,
+    TRACE_GENERATORS,
+    PolicySpec,
+    ServingSpec,
+    TraceSpec,
+    iter_serving,
+)
 from repro.accelerator.workloads import TASK_SEQUENCE_LENGTHS
 from repro.transformer.model_zoo import MODEL_CONFIGS, PAPER_MODELS
 
@@ -359,8 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--order-by",
         default=None,
         metavar="FIELD",
-        help="order records (or grouped rows) by this field; prefix with "
-        "'-' for descending, e.g. --order-by -total_cycles",
+        help="order records (or grouped rows) by this field; descending via "
+        "'~FIELD' or 'FIELD:desc' (or '-FIELD', which argparse only "
+        "accepts in the equals form --order-by=-FIELD), e.g. "
+        "--order-by ~total_cycles",
     )
     report.add_argument(
         "--top",
@@ -425,8 +437,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect the pluggable-axis registries",
         description=(
             "The unified registry surface: every pluggable axis of the "
-            "campaign grid (schemes, designs, models, tasks, engines, "
-            "store backends) behind one names/get/describe protocol."
+            "campaign grid and the serving simulator (schemes, designs, "
+            "models, tasks, engines, store backends, arrival traces, "
+            "batching policies) behind one names/get/describe protocol."
         ),
     )
     registry_actions = registry.add_subparsers(dest="action", required=True)
@@ -484,6 +497,154 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(table1)
     _add_format_arguments(table1)
+
+    serve = commands.add_parser(
+        "serve-sim",
+        help="replay a seeded request-arrival trace through the batching "
+        "simulator (p50/p99 latency, goodput, energy-per-request)",
+        description=(
+            "Generate a seeded arrival trace, form batches under a dynamic "
+            "batching policy, and replay them against the accelerator "
+            "cycle/energy models for every scheme × design combo. Batch "
+            "size is emergent — each distinct formed size costs one real "
+            "simulation, memoised through the artifact store, so a "
+            "million-request trace needs only a handful of sims and a "
+            "re-run over a warm store simulates nothing."
+        ),
+    )
+    serve.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="load a ServingSpec JSON file instead of the flags below "
+        "(execution flags still override the spec's policy)",
+    )
+    serve.add_argument(
+        "--model",
+        default="bert-base",
+        choices=sorted(MODEL_CONFIGS),
+        metavar="MODEL",
+        help=f"served model (choices: {', '.join(sorted(MODEL_CONFIGS))})",
+    )
+    serve.add_argument("--task", default="mnli", metavar="TASK", help="served task")
+    serve.add_argument(
+        "--sequence-length",
+        type=_parse_sequence_length,
+        default=None,
+        metavar="LEN",
+        help="request sequence length; 'none' (default) uses the task's",
+    )
+    serve.add_argument(
+        "--schemes",
+        nargs="+",
+        type=_parse_scheme,
+        default=[None],
+        metavar="SCHEME",
+        help="quantization schemes to compare; 'none' keeps each design's own",
+    )
+    serve.add_argument(
+        "--designs",
+        nargs="+",
+        default=["mokey"],
+        metavar="DESIGN",
+        help=f"accelerator designs (choices: {', '.join(available_designs())})",
+    )
+    serve.add_argument(
+        "--buffer-kb",
+        type=int,
+        default=512,
+        metavar="KB",
+        help="on-chip buffer capacity per accelerator, in KB (default: 512)",
+    )
+    serve.add_argument(
+        "--trace",
+        default="poisson",
+        metavar="KIND",
+        help=f"arrival-trace kind (choices: {', '.join(sorted(TRACE_GENERATORS))})",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        metavar="RPS",
+        help="mean request arrival rate, requests/second (default: 100)",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="trace length in requests (default: 10000)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="trace RNG seed; same seed + spec = bit-identical metrics",
+    )
+    serve.add_argument(
+        "--trace-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="trace-kind parameter, e.g. burst_factor=6 (repeatable; see "
+        "'repro registry list traces')",
+    )
+    serve.add_argument(
+        "--policy",
+        default="timeout",
+        metavar="KIND",
+        help=f"batching policy (choices: {', '.join(sorted(POLICY_KINDS))})",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="largest batch a policy may form (default: 8)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="timeout policy: longest the queue head waits for fill (default: 10)",
+    )
+    serve.add_argument(
+        "--accelerators",
+        type=int,
+        default=1,
+        metavar="N",
+        help="identical engines served from one queue (default: 1)",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency objective; goodput counts only requests within it",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="how to fan the scheme × design combos out (default: the "
+        "spec's policy, else thread); all three are bit-identical",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N", help="pool width (default: automatic)"
+    )
+    serve.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one streaming progress line per completed combo to stderr",
+    )
+    serve.add_argument(
+        "--no-store", action="store_true", help="do not read or write the artifact store"
+    )
+    _add_store_argument(serve)
+    _add_format_arguments(serve)
 
     return parser
 
@@ -786,7 +947,13 @@ def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
 
 
 def _report_filters(args: argparse.Namespace) -> List[Tuple[str, str, object]]:
-    """The pushdown filter list: legacy axis flags plus parsed ``--where``."""
+    """The pushdown filter list: legacy axis flags plus parsed ``--where``.
+
+    ``--scheme`` matches what the scheme *column* shows (the override if
+    set, else the design name) and compiles to the ``effective_scheme``
+    query field — a materialised, indexed column in the SQLite backend —
+    so it pushes down like every other filter.
+    """
     filters: List[Tuple[str, str, object]] = []
     for field, wanted in (
         ("model", args.model),
@@ -797,6 +964,8 @@ def _report_filters(args: argparse.Namespace) -> List[Tuple[str, str, object]]:
     ):
         if wanted is not None:
             filters.append((field, "==", wanted))
+    if args.scheme is not None:
+        filters.append(("effective_scheme", "==", args.scheme))
     for text in args.where:
         filters.append(parse_filter(text))
     return filters
@@ -807,12 +976,6 @@ def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     try:
         filters = _report_filters(args)
         if args.group_by is not None:
-            if args.scheme is not None:
-                parser.error(
-                    "--scheme cannot combine with --group-by (its column mixes "
-                    "the override with the design name); filter the raw axis "
-                    "with --where scheme=NAME instead"
-                )
             rows = store.query(
                 filters, group_by=args.group_by, order_by=args.order_by, limit=args.top
             )
@@ -822,12 +985,7 @@ def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
             summary = f"{len(rows)} groups from {store.root}"
             _emit(format_records(rows, args.format), summary, args.output)
             return 0
-        # --scheme matches what the scheme *column* shows (the override if
-        # set, else the design name), which needs the result payload — so
-        # it stays a Python post-filter over the pushed-down stream, and
-        # --top is applied after it.
-        limit = args.top if args.scheme is None else None
-        entries = store.query(filters, order_by=args.order_by, limit=limit)
+        entries = store.query(filters, order_by=args.order_by, limit=args.top)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -841,14 +999,6 @@ def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         )
         for entry in entries
     ]
-    if args.scheme is not None:
-        records = [
-            r
-            for r in records
-            if (r.scenario.scheme or r.result.design_name) == args.scheme
-        ]
-        if args.top is not None:
-            records = records[: args.top]
     if not records:
         print("no matching records in the store", file=sys.stderr)
         return 1
@@ -913,6 +1063,108 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_trace_params(
+    parser: argparse.ArgumentParser, texts: Sequence[str]
+) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for text in texts:
+        key, sep, value = text.partition("=")
+        if not sep or not key:
+            parser.error(f"--trace-param wants KEY=VALUE, got {text!r}")
+        try:
+            params[key] = float(value)
+        except ValueError:
+            parser.error(f"--trace-param {key!r} wants a number, got {value!r}")
+    return params
+
+
+def _serving_spec_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> ServingSpec:
+    """Build the serving spec: from ``--spec FILE`` or the flags.
+
+    Execution flags (``--executor``/``--workers``) override the spec's
+    policy either way, mirroring ``campaign run``.
+    """
+    if args.spec:
+        try:
+            spec = ServingSpec.load(args.spec)
+        except OSError as exc:
+            print(f"error: cannot read spec {args.spec!r}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            print(
+                f"error: spec {args.spec!r} does not parse as a ServingSpec: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    else:
+        spec = ServingSpec(
+            name="cli",
+            model=args.model,
+            task=args.task,
+            sequence_length=args.sequence_length,
+            schemes=tuple(args.schemes),
+            designs=tuple(args.designs),
+            buffer_bytes=args.buffer_kb * KB,
+            trace=TraceSpec(
+                kind=args.trace,
+                rate_rps=args.rate,
+                num_requests=args.requests,
+                seed=args.seed,
+                params=_parse_trace_params(parser, args.trace_param),
+            ),
+            policy=PolicySpec(
+                kind=args.policy,
+                max_batch=args.max_batch,
+                timeout_ms=args.timeout_ms,
+            ),
+            num_accelerators=args.accelerators,
+            slo_ms=args.slo_ms,
+        )
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["max_workers"] = args.workers
+    if overrides:
+        spec = spec.with_execution(**overrides)
+    return spec
+
+
+def _cmd_serve_sim(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    spec = _resolve_spec_store(args, _serving_spec_from_args(parser, args))
+    started = time.perf_counter()
+    records = []
+    last_progress = None
+    try:
+        events = iter_serving(spec)
+        try:
+            for record, progress in events:
+                records.append(record)
+                last_progress = progress
+                if args.progress:
+                    print(f"{progress} {record.base.label}", file=sys.stderr)
+        finally:
+            events.close()
+    except (RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    store = spec.execution.store
+    trace, policy = spec.trace, spec.policy
+    summary = (
+        f"{len(records)} combos over {trace.label} x {policy.label}: "
+        f"{last_progress.requests if last_progress else 0} requests replayed, "
+        f"{last_progress.simulated if last_progress else 0} batch shapes simulated, "
+        f"{last_progress.from_store if last_progress else 0} from store "
+        f"in {elapsed:.2f}s [executor={spec.execution.executor}"
+        + ("]" if store is None else f", store={store}]")
+    )
+    _emit(format_records([r.to_row() for r in records], args.format), summary, args.output)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -934,6 +1186,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_registry_list(args)
     if args.command == "table1":
         return _cmd_table1(parser, args)
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(parser, args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -218,6 +218,18 @@ AXIS_FIELDS = (
 QUERY_FIELDS: Dict[str, QueryField] = {name: _axis_field(name) for name in AXIS_FIELDS}
 QUERY_FIELDS.update(
     {
+        # The scheme the report's scheme column displays: the scenario's
+        # override when set, else the result's design name.  Derived from
+        # the result payload on the JSONL side, but materialised as an
+        # indexed column by the SQLite backend so it still compiles to
+        # SQL (kind "axis": filterable, groupable, orderable).
+        "effective_scheme": QueryField(
+            "effective_scheme",
+            "axis",
+            "effective_scheme",
+            lambda e: e.scenario.scheme if e.scenario.scheme is not None
+            else e.result.design_name,
+        ),
         "compute_cycles": _result_metric("compute_cycles"),
         "memory_cycles": _result_metric("memory_cycles"),
         "total_cycles": _result_metric("total_cycles"),
@@ -353,17 +365,28 @@ class _QueryPlan:
             for name in names:
                 field = QUERY_FIELDS.get(name)
                 if field is None or field.kind != "axis":
+                    groupable = tuple(
+                        f.name for f in QUERY_FIELDS.values() if f.kind == "axis"
+                    )
                     raise ValueError(
                         f"group_by field {name!r} must be a scenario axis"
-                        f"{_suggest(name, AXIS_FIELDS)} (axes: {', '.join(AXIS_FIELDS)})"
+                        f"{_suggest(name, groupable)} (axes: {', '.join(groupable)})"
                     )
                 group_fields.append(field)
         order_field: Optional[str] = None
         descending = False
         if order_by:
+            # Three descending spellings: '-FIELD' (needs the --order-by=
+            # equals form on the CLI, argparse eats the bare '-'), '~FIELD'
+            # and 'FIELD:desc' (both safe in the space form).  'FIELD:asc'
+            # spells ascending explicitly.
             order_field = str(order_by)
-            if order_field.startswith("-"):
+            if order_field[:1] in ("-", "~"):
                 descending, order_field = True, order_field[1:]
+            if order_field.endswith(":desc"):
+                descending, order_field = True, order_field[: -len(":desc")]
+            elif order_field.endswith(":asc"):
+                descending, order_field = False, order_field[: -len(":asc")]
             if group_fields:
                 valid = tuple(f.name for f in group_fields) + GROUP_AGGREGATES
                 if order_field not in valid:

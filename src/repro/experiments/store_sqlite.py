@@ -5,7 +5,10 @@ over a single SQLite database (``<root>/records.sqlite``) with
 
 * a real, indexed column per scenario axis (model, task,
   sequence_length, batch_size, scheme, design, buffer_bytes,
-  activation_buffer_fraction) plus the content key as primary key, so
+  activation_buffer_fraction) plus a materialised, indexed
+  ``effective_scheme`` column (the scheme override, else the result's
+  design name — what the report's scheme column shows) and the content
+  key as primary key, so
   :meth:`SqliteStoreBackend.query` pushes filters, grouping, ordering
   and limits into the engine instead of deserializing every record;
 * JSON payload columns for the scenario/result/fidelity/measured
@@ -75,6 +78,7 @@ CREATE TABLE IF NOT EXISTS records (
     design TEXT,
     buffer_bytes INTEGER,
     activation_buffer_fraction REAL,
+    effective_scheme TEXT,
     scenario TEXT NOT NULL,
     result TEXT NOT NULL,
     fidelity TEXT,
@@ -134,7 +138,8 @@ class SqliteStoreBackend:
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.execute(f"PRAGMA busy_timeout={int(self.BUSY_TIMEOUT_S * 1000)}")
         conn.execute(_CREATE_TABLE)
-        for column in AXIS_FIELDS + ("schema_version",):
+        self._ensure_effective_scheme(conn)
+        for column in AXIS_FIELDS + ("effective_scheme", "schema_version"):
             conn.execute(
                 f"CREATE INDEX IF NOT EXISTS idx_records_{column} ON records ({column})"
             )
@@ -142,6 +147,44 @@ class SqliteStoreBackend:
         with self._conn_lock:
             self._connections.append(conn)
         return conn
+
+    def _ensure_effective_scheme(self, conn: sqlite3.Connection) -> None:
+        """Migrate pre-existing databases to the materialised scheme column.
+
+        ``effective_scheme`` holds what the report's scheme column shows
+        (the scenario's override, else the result's design name) so the
+        ``--scheme``/``effective_scheme`` filter compiles to an indexed
+        SQL comparison instead of rebuilding every result payload.  The
+        backfill expression matches the Python evaluator exactly —
+        ``COALESCE(scheme, json_extract(result, '$.design_name'))`` — so
+        answers stay bit-identical to the JSONL backend.  Runs inside one
+        immediate transaction; a concurrent opener that raced the ALTER
+        re-checks and finds the column already present.
+        """
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(records)")}
+        if "effective_scheme" in columns:
+            return
+        deadline = time.monotonic() + self.BUSY_TIMEOUT_S
+        while True:
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                break
+            except sqlite3.OperationalError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.005)
+        try:
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(records)")}
+            if "effective_scheme" not in columns:
+                conn.execute("ALTER TABLE records ADD COLUMN effective_scheme TEXT")
+                conn.execute(
+                    "UPDATE records SET effective_scheme = "
+                    "COALESCE(scheme, json_extract(result, '$.design_name'))"
+                )
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
 
     def close(self) -> None:
         """Close every connection this instance opened (all threads)."""
@@ -408,6 +451,9 @@ class SqliteStoreBackend:
         measured: Optional[MeasuredStats],
     ) -> bool:
         key = scenario_key(scenario)
+        effective_scheme = (
+            scenario.scheme if scenario.scheme is not None else result.design_name
+        )
         row = conn.execute(
             "SELECT fidelity, measured FROM records WHERE key = ? AND schema_version = ?",
             (key, SCHEMA_VERSION),
@@ -422,11 +468,12 @@ class SqliteStoreBackend:
             measured_json = _dumps(measured.to_dict()) if measured is not None else existing_measured
             conn.execute(
                 "UPDATE records SET schema_version = ?, scenario = ?, result = ?, "
-                "fidelity = ?, measured = ? WHERE key = ?",
+                "effective_scheme = ?, fidelity = ?, measured = ? WHERE key = ?",
                 (
                     SCHEMA_VERSION,
                     _dumps(scenario.to_dict()),
                     _dumps(result.to_dict()),
+                    effective_scheme,
                     fidelity_json,
                     measured_json,
                     key,
@@ -436,11 +483,13 @@ class SqliteStoreBackend:
         axis_values = tuple(getattr(scenario, name) for name in AXIS_FIELDS)
         conn.execute(
             f"INSERT OR REPLACE INTO records "
-            f"(key, schema_version, {', '.join(AXIS_FIELDS)}, scenario, result, fidelity, measured) "
-            f"VALUES ({', '.join('?' * (len(AXIS_FIELDS) + 6))})",
+            f"(key, schema_version, {', '.join(AXIS_FIELDS)}, effective_scheme, "
+            f"scenario, result, fidelity, measured) "
+            f"VALUES ({', '.join('?' * (len(AXIS_FIELDS) + 7))})",
             (key, SCHEMA_VERSION)
             + axis_values
             + (
+                effective_scheme,
                 _dumps(scenario.to_dict()),
                 _dumps(result.to_dict()),
                 _dumps(fidelity.to_dict()) if fidelity is not None else None,

@@ -1,11 +1,13 @@
 """Unified registry surface over every pluggable axis of the evaluation.
 
-The evaluation exposes six pluggable axes — quantization schemes,
+The evaluation exposes eight pluggable axes — quantization schemes,
 accelerator designs, model-zoo configurations, evaluation tasks,
-index-domain compute engines and artifact-store backends — and each
+index-domain compute engines, artifact-store backends, arrival-trace
+generators and batching policies — and each
 historically exposed its own lookup idiom (``get_scheme``,
 ``build_design``/``DESIGN_FACTORIES``, ``MODEL_CONFIGS``,
-``task_family``, ``ENGINE_BACKENDS``, ``STORE_BACKENDS``).  This module
+``task_family``, ``ENGINE_BACKENDS``, ``STORE_BACKENDS``,
+``TRACE_GENERATORS``, ``POLICY_KINDS``).  This module
 puts one :class:`Registry` protocol in
 front of all of them: ``names()`` / ``get()`` / ``describe()`` plus
 entry-point-style registration, so spec validation, the CLI
@@ -210,6 +212,8 @@ from repro.core.index_compute import (  # noqa: E402
 from repro.experiments.store import (  # noqa: E402
     STORE_BACKENDS as _STORE_BACKENDS,
 )
+from repro.serving.policies import POLICY_KINDS as _POLICY_KINDS  # noqa: E402
+from repro.serving.traces import TRACE_GENERATORS as _TRACE_GENERATORS  # noqa: E402
 
 
 def _describe_scheme(name: str, scheme: Any) -> str:
@@ -296,6 +300,26 @@ def _describe_store(name: str, backend: Any) -> str:
 #: indexed WAL-mode SQLite for big grids and concurrent writers).
 STORES = Registry("stores", _STORE_BACKENDS, _describe_store)
 
+def _describe_by_docstring(fallback: str):
+    def describe(name: str, value: Any) -> str:
+        doc = (value.__doc__ or fallback).strip()
+        return doc.splitlines()[0]
+    return describe
+
+
+#: Live view over ``TRACE_GENERATORS``: the seeded request-arrival trace
+#: kinds ``ServingSpec.trace`` / ``repro serve-sim --trace`` resolve
+#: through.
+TRACES = Registry(
+    "traces", _TRACE_GENERATORS, _describe_by_docstring("arrival-trace generator")
+)
+
+#: Live view over ``POLICY_KINDS``: the dynamic batching policies
+#: ``ServingSpec.policy`` / ``repro serve-sim --policy`` resolve through.
+POLICIES = Registry(
+    "policies", _POLICY_KINDS, _describe_by_docstring("batching-policy release rule")
+)
+
 #: The registry of registries: every pluggable axis by kind.
 REGISTRIES: Dict[str, Registry] = {
     "schemes": SCHEMES,
@@ -304,6 +328,8 @@ REGISTRIES: Dict[str, Registry] = {
     "tasks": TASKS,
     "engines": ENGINES,
     "stores": STORES,
+    "traces": TRACES,
+    "policies": POLICIES,
 }
 
 

@@ -395,7 +395,10 @@ class TestRegistryList:
     def test_lists_all_kinds(self, capsys):
         code, out, _err = run_cli(["registry", "list"], capsys)
         assert code == 0
-        for kind in ("schemes", "designs", "models", "tasks", "engines"):
+        for kind in (
+            "schemes", "designs", "models", "tasks", "engines",
+            "stores", "traces", "policies",
+        ):
             assert kind in out
         assert "mokey" in out
 
@@ -413,12 +416,115 @@ class TestRegistryList:
         code, out, _err = run_cli(["registry", "list", "--format", "json"], capsys)
         assert code == 0
         payload = json.loads(out)
-        assert set(payload) == {"schemes", "designs", "models", "tasks", "engines", "stores"}
+        assert set(payload) == {
+            "schemes", "designs", "models", "tasks", "engines", "stores",
+            "traces", "policies",
+        }
 
     def test_unknown_kind_suggests_nearest(self, capsys):
         code, _out, err = run_cli(["registry", "list", "designz"], capsys)
         assert code == 2
         assert "did you mean 'designs'?" in err
+
+
+class TestServeSim:
+    ARGS = [
+        "serve-sim",
+        "--schemes", "mokey-oc", "fp16",
+        "--rate", "100", "--requests", "1000", "--seed", "4",
+    ]
+
+    def test_reports_latency_goodput_energy_per_combo(self, tmp_path, capsys):
+        code, out, err = run_cli(
+            self.ARGS + ["--store", str(tmp_path / "s"), "--format", "json"], capsys
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert [row["scheme"] for row in rows] == ["mokey-oc", "fp16"]
+        for row in rows:
+            assert row["requests"] == 1000
+            assert 0 < row["p50_ms"] <= row["p99_ms"]
+            assert row["goodput_rps"] > 0
+            assert row["energy_per_request_j"] > 0
+            # The headline guarantee: real sims never exceed batch shapes.
+            assert row["simulated"] <= row["batch_shapes"]
+        assert "2 combos" in err and "batch shapes simulated" in err
+
+    def test_warm_store_rerun_simulates_nothing(self, tmp_path, capsys):
+        args = self.ARGS + ["--store", str(tmp_path / "s"), "--format", "json"]
+        code, out, err = run_cli(args, capsys)
+        assert code == 0
+        cold = json.loads(out)
+        code, out, err = run_cli(args, capsys)
+        assert code == 0
+        warm = json.loads(out)
+        assert "0 batch shapes simulated" in err
+        drop = lambda row: {k: v for k, v in row.items() if k != "simulated"}
+        assert [drop(row) for row in warm] == [drop(row) for row in cold]
+
+    def test_executors_and_backends_are_bit_identical(self, tmp_path, capsys):
+        outputs = set()
+        for backend in ("jsonl", "sqlite"):
+            for executor in ("serial", "thread", "process"):
+                code, out, _err = run_cli(
+                    self.ARGS + [
+                        "--store", str(tmp_path / f"{backend}-{executor}"),
+                        "--store-backend", backend,
+                        "--executor", executor,
+                        "--format", "csv",
+                    ],
+                    capsys,
+                )
+                assert code == 0
+                outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        from repro.serving import PolicySpec, ServingSpec, TraceSpec
+
+        spec = ServingSpec(
+            schemes=("mokey-oc",),
+            trace=TraceSpec(rate_rps=80.0, num_requests=500, seed=9),
+            policy=PolicySpec(kind="max-batch", max_batch=4),
+            slo_ms=100.0,
+        )
+        path = tmp_path / "serving.json"
+        spec.save(path)
+        code, out, err = run_cli(
+            ["serve-sim", "--spec", str(path), "--no-store", "--format", "json"], capsys
+        )
+        assert code == 0
+        (row,) = json.loads(out)
+        assert row["requests"] == 500
+        assert "max-batch(b<=4)" in err
+
+    def test_trace_param_flag_reaches_the_generator(self, tmp_path, capsys):
+        base = self.ARGS + ["--trace", "bursty", "--no-store", "--format", "csv"]
+        code, calm_out, _err = run_cli(base, capsys)
+        assert code == 0
+        code, burst_out, _err = run_cli(
+            base + ["--trace-param", "burst_factor=12"], capsys
+        )
+        assert code == 0
+        assert calm_out != burst_out
+
+    def test_unknown_trace_and_policy_are_one_line_errors(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["serve-sim", "--trace", "poison", "--no-store"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'poisson'?" in err
+        code, _out, err = run_cli(
+            ["serve-sim", "--policy", "continuos", "--no-store"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'continuous'?" in err
+
+    def test_malformed_trace_param_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--trace-param", "amplitude", "--no-store"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
 
 
 def test_table1_unknown_scheme_subprocess_has_no_traceback(tmp_path):
@@ -494,13 +600,48 @@ class TestStoreBackendsCli:
         assert all(row["count"] == 1 for row in rows)
         assert {"model", "design", "count", "with_fidelity"} <= set(rows[0])
 
-    def test_report_scheme_conflicts_with_group_by(self, tmp_path, capsys):
+    def test_report_scheme_combines_with_group_by(self, tmp_path, capsys):
+        # --scheme compiles to the effective_scheme pushdown field now, so
+        # it composes with --group-by like any other filter (it used to be
+        # a Python post-filter that parser.error'd on this combination).
         store = str(tmp_path / "store")
         self._run_grid(store, capsys, backend="sqlite")
-        with pytest.raises(SystemExit):
-            main(["campaign", "report", "--store", store, "--scheme", "mokey",
-                  "--group-by", "model"])
-        capsys.readouterr()
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", store, "--scheme", "mokey",
+             "--group-by", "model", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert {row["model"] for row in rows} == {"bert-base", "bert-large"}
+        assert all(row["count"] == 1 for row in rows)
+
+    @pytest.mark.parametrize(
+        "spelling", ["~total_cycles", "total_cycles:desc", "--order-by=-total_cycles"]
+    )
+    def test_report_order_by_descending_spellings(self, tmp_path, capsys, spelling):
+        # '-FIELD' only parses in the equals form (argparse reads a bare
+        # '-t...' as a flag); '~FIELD' and 'FIELD:desc' work as plain
+        # arguments too, and all three must order identically.
+        store = str(tmp_path / "store")
+        self._run_grid(store, capsys, backend="sqlite")
+        args = ["campaign", "report", "--store", store, "--format", "json"]
+        if spelling.startswith("--"):
+            args.append(spelling)
+        else:
+            args += ["--order-by", spelling]
+        code, out, _err = run_cli(args, capsys)
+        assert code == 0
+        cycles = [row["total_cycles"] for row in json.loads(out)]
+        assert cycles == sorted(cycles, reverse=True)
+        code, out, _err = run_cli(
+            ["campaign", "report", "--store", store, "--order-by",
+             "total_cycles:asc", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        ascending = [row["total_cycles"] for row in json.loads(out)]
+        assert ascending == list(reversed(cycles))
 
     def test_report_bad_where_field_is_a_usage_error(self, tmp_path, capsys):
         store = str(tmp_path / "store")

@@ -480,9 +480,19 @@ class TestCrossBackendEquivalence:
             {"filters": ["buffer_bytes<=524288", "design!=d-two"]},
             {"filters": ["scheme=none"]},
             {"filters": ["scheme!=none"], "order_by": "scheme"},
+            # effective_scheme never holds NULL: it is the override when
+            # set, else the design name — so filters on it see both kinds.
+            {"filters": [("effective_scheme", "==", "s-x")]},
+            {"filters": [("effective_scheme", "==", "d-one")]},
+            {"filters": ["effective_scheme!=s-x"], "order_by": "effective_scheme"},
             {"filters": [("total_cycles", ">", 500.0)], "order_by": "-energy_joules"},
             {"order_by": "total_cycles", "limit": 7},
             {"order_by": "-buffer_bytes", "limit": 3},
+            # The three descending spellings and the explicit ascending one
+            # must agree across backends (and with each other, tested below).
+            {"order_by": "~total_cycles", "limit": 7},
+            {"order_by": "total_cycles:desc", "limit": 7},
+            {"order_by": "total_cycles:asc", "limit": 7},
         ],
         ids=repr,
     )
@@ -501,6 +511,9 @@ class TestCrossBackendEquivalence:
             {"group_by": ("model", "scheme")},  # a NULL group key
             {"group_by": ("design",), "order_by": "mean_total_cycles", "limit": 2},
             {"filters": ["buffer_bytes>262144"], "group_by": ("model", "design")},
+            {"group_by": ("effective_scheme",), "order_by": "~count"},
+            {"filters": [("effective_scheme", "!=", "d-two")],
+             "group_by": ("model", "effective_scheme")},
         ],
         ids=repr,
     )
@@ -566,6 +579,81 @@ class TestMigration:
     def test_open_store_unknown_backend_suggests_nearest(self, tmp_path):
         with pytest.raises(ValueError, match="did you mean 'sqlite'"):
             open_store(tmp_path, backend="sqlte")
+
+    def test_old_schema_database_gains_backfilled_effective_scheme(self, tmp_path):
+        # A database created before the materialised effective_scheme
+        # column existed must migrate on open: the column appears, is
+        # backfilled from COALESCE(scheme, result design_name), and
+        # pushdown answers match a JSONL store holding the same records.
+        scenarios = corpus_scenarios()[:8]
+        jsonl = open_store(tmp_path / "ref", backend="jsonl")
+        for scenario in scenarios:
+            jsonl.put(scenario, fake_result(scenario))
+
+        root = tmp_path / "old"
+        root.mkdir()
+        conn = sqlite3.connect(str(root / SqliteStoreBackend.FILENAME))
+        conn.execute(
+            """
+            CREATE TABLE records (
+                key TEXT PRIMARY KEY,
+                schema_version INTEGER NOT NULL,
+                model TEXT, task TEXT, sequence_length INTEGER,
+                batch_size INTEGER, scheme TEXT, design TEXT,
+                buffer_bytes INTEGER, activation_buffer_fraction REAL,
+                scenario TEXT NOT NULL, result TEXT NOT NULL,
+                fidelity TEXT, measured TEXT
+            )
+            """
+        )
+        for scenario in scenarios:
+            result = fake_result(scenario)
+            conn.execute(
+                "INSERT INTO records VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    scenario_key(scenario),
+                    SCHEMA_VERSION,
+                    scenario.model,
+                    scenario.task,
+                    scenario.sequence_length,
+                    scenario.batch_size,
+                    scenario.scheme,
+                    scenario.design,
+                    scenario.buffer_bytes,
+                    scenario.activation_buffer_fraction,
+                    json.dumps(scenario.to_dict(), sort_keys=True),
+                    json.dumps(result.to_dict(), sort_keys=True),
+                    None,
+                    None,
+                ),
+            )
+        conn.commit()
+        conn.close()
+
+        migrated = open_store(root, backend="sqlite")
+        inner = migrated._connect(create=False)
+        columns = {row[1] for row in inner.execute("PRAGMA table_info(records)")}
+        assert "effective_scheme" in columns
+        for query in (
+            {"filters": [("effective_scheme", "==", "s-x")]},
+            {"filters": [("effective_scheme", "==", "d-one")]},
+            {"group_by": ("effective_scheme",)},
+        ):
+            a = jsonl.query(**query)
+            b = migrated.query(**query)
+            if query.get("group_by"):
+                assert len(a) == len(b)
+                for row_a, row_b in zip(a, b):
+                    for column, value in row_a.items():
+                        if column.startswith("mean_"):
+                            assert row_b[column] == pytest.approx(value, rel=1e-12)
+                        else:
+                            assert row_b[column] == value, column
+            else:
+                assert [entry_digest(e) for e in a] == [entry_digest(e) for e in b]
+        # Idempotent: a second opener finds the column and changes nothing.
+        again = open_store(root, backend="sqlite")
+        assert len(again) == len(scenarios)
 
     def test_spec_validates_store_backend_names(self, tmp_path):
         spec = CampaignSpec(
