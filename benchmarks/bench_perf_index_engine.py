@@ -19,12 +19,20 @@ is visible PR-over-PR:
   batched+weight-cached execution, with the speedup **asserted** so GEMM
   batching and the weight cache can never silently stop paying off;
 * ``decoder_kv_cache`` — a GPT-style decoder (prefill + autoregressive
-  steps) attending against the encoded index-domain KV cache.
+  steps) attending against the encoded index-domain KV cache, with the
+  incremental plane cache on (and a plane-rebuild ablation next to it),
+  its tokens/s **asserted** against a floor 5x the seed measurement;
+* ``decoder_multi_stream`` — several concurrent serving streams decoded
+  in lockstep through ``replay_decode_streams``, their independent
+  GEMMs batched across streams.
 
-Tiny mode (``REPRO_BENCH_TINY=1``) shrinks the shapes; the assertions
-stay.
+Cold-vs-warm pairs (quantization, encoder layer, full model) measure the
+fit memo and the plane cache directly: the warm leg reruns the identical
+workload so every content digest hits.  Tiny mode
+(``REPRO_BENCH_TINY=1``) shrinks the shapes; the assertions stay.
 """
 
+import gc
 import time
 
 import numpy as np
@@ -35,7 +43,11 @@ from conftest import TINY_MODE, record_perf
 from repro.core.index_compute import (
     IndexDomainEngine,
     VectorizedIndexDomainEngine,
+    get_plane_cache,
+    use_plane_cache,
 )
+from repro.core.quantizer import MokeyQuantizer
+from repro.serving import replay_decode_streams
 from repro.transformer.config import TransformerConfig
 from repro.transformer.index_execution import execute_encoder_layer
 from repro.transformer.index_model import (
@@ -83,24 +95,37 @@ def _gemm_operands(mokey_quantizer, m, k, n, seed=0):
 
 
 def test_perf_quantization(mokey_quantizer):
-    """Tensor fit+encode throughput (the operand-side cost of every GEMM)."""
+    """Tensor fit+encode throughput, cold (fresh fit) vs fit-memo warm."""
     rng = np.random.default_rng(7)
     values = rng.normal(0, 0.02, (GEMM_K, GEMM_N))
-    seconds = _best_of(lambda: mokey_quantizer.quantize(values, "weight"))
-    throughput = values.size / seconds
+    cold_quantizer = MokeyQuantizer(mokey_quantizer.golden, fit_memo=False)
+    cold_seconds = _best_of(lambda: cold_quantizer.quantize(values, "weight"))
+    hits_before = mokey_quantizer.fit_memo_hits
+    mokey_quantizer.quantize(values, "weight")  # prime the memo
+    warm_seconds = _best_of(lambda: mokey_quantizer.quantize(values, "weight"))
+    cold_throughput = values.size / cold_seconds
+    warm_throughput = values.size / warm_seconds
     print(
-        f"\nquantization: {values.size} values in {seconds * 1e3:.1f} ms "
-        f"({throughput / 1e6:.1f} Mvalues/s)"
+        f"\nquantization: {values.size} values, cold {cold_seconds * 1e3:.1f} ms "
+        f"({cold_throughput / 1e6:.1f} Mvalues/s), fit-memo warm "
+        f"{warm_seconds * 1e3:.1f} ms ({warm_throughput / 1e6:.1f} Mvalues/s, "
+        f"{cold_seconds / warm_seconds:.1f}x)"
     )
     record_perf(
         "quantization",
         {
             "values": int(values.size),
-            "seconds": seconds,
-            "values_per_second": throughput,
+            "seconds": cold_seconds,
+            "values_per_second": cold_throughput,
+            "warm_seconds": warm_seconds,
+            "warm_values_per_second": warm_throughput,
+            "fit_memo_speedup": cold_seconds / warm_seconds,
         },
     )
-    assert throughput > 1e5  # fit+encode must stay far from pathological
+    assert cold_throughput > 1e5  # fit+encode must stay far from pathological
+    # The memo actually hit, and re-quantizing a seen tensor skips the fit.
+    assert mokey_quantizer.fit_memo_hits > hits_before
+    assert warm_seconds < cold_seconds
 
 
 def test_perf_index_matmul_scalar_vs_vectorized(mokey_quantizer):
@@ -160,12 +185,21 @@ def test_perf_encoder_layer_index_domain(mokey_quantizer):
     measurement = execute_encoder_layer(
         model, sequence_length=sequence_length, quantizer=mokey_quantizer
     )
+    # Warm forward: identical inputs, so every fit digest and every plane
+    # digest hits — this is the "warm model forward" the plane cache and
+    # fit memo exist for.
+    warm = execute_encoder_layer(
+        model, sequence_length=sequence_length, quantizer=mokey_quantizer
+    )
     pairs = measurement.stats.total_pairs
+    warm_cache = warm.plane_cache.to_dict() if warm.plane_cache else {}
     print(
         f"\nencoder layer ({measurement.model}, seq {sequence_length}): "
         f"{measurement.total_seconds:.2f}s total "
         f"(quantize {measurement.quantize_seconds:.2f}s, "
-        f"engine {measurement.engine_seconds:.2f}s), "
+        f"engine {measurement.engine_seconds:.2f}s), warm "
+        f"{warm.total_seconds:.2f}s (quantize {warm.quantize_seconds:.2f}s, "
+        f"plane hit rate {warm_cache.get('hit_rate', 0.0):.2f}), "
         f"{pairs / 1e6:.0f} Mpairs, outlier {100 * measurement.outlier_pair_fraction:.2f}%, "
         f"output RMS err {measurement.output_rms_error:.4f}"
     )
@@ -177,6 +211,9 @@ def test_perf_encoder_layer_index_domain(mokey_quantizer):
             "total_seconds": measurement.total_seconds,
             "quantize_seconds": measurement.quantize_seconds,
             "engine_seconds": measurement.engine_seconds,
+            "warm_total_seconds": warm.total_seconds,
+            "warm_quantize_seconds": warm.quantize_seconds,
+            "warm_plane_cache": warm_cache,
             "pairs": pairs,
             "pairs_per_second": pairs / max(measurement.engine_seconds, 1e-9),
             "outlier_pair_fraction": measurement.outlier_pair_fraction,
@@ -188,6 +225,11 @@ def test_perf_encoder_layer_index_domain(mokey_quantizer):
     assert measurement.total_seconds < 60.0
     assert measurement.output_rms_error < 0.5
     assert 0.0 < measurement.outlier_pair_fraction < 0.2
+    # Caching is a pure execution strategy: the warm forward replays the
+    # identical arithmetic (bit-identical op counts) while the fit memo
+    # removes the dominant quantization cost.
+    assert warm.stats == measurement.stats
+    assert warm.quantize_seconds < measurement.quantize_seconds
 
 
 # Full-model shapes: all of BERT-Base in full mode, a two-layer nano
@@ -216,23 +258,37 @@ if TINY_MODE:
         vocab_size=512,
     )
     PROMPT_LENGTH, DECODE_TOKENS = 16, 4
+    # Plane-cached decode floor: conservative (measured is several times
+    # higher) so CI only fires when the incremental cache stops working.
+    DECODER_TPS_FLOOR = 2.0
+    STREAMS, STREAM_PROMPT, STREAM_DECODE = 2, 8, 4
 else:
     MODEL_SPEC = "bert-base"
     MODEL_SEQ = 128
     MODEL_SPEEDUP_FLOOR = 1.5
     DECODER_SPEC = GPT_DECODER_CONFIG
     PROMPT_LENGTH, DECODE_TOKENS = 32, 8
+    # The ISSUE 9 acceptance floor: >= 5x the seed BENCH_PERF measurement
+    # of 0.325 tokens/s (measured with the plane cache: ~2x the floor).
+    DECODER_TPS_FLOOR = 1.6
+    STREAMS, STREAM_PROMPT, STREAM_DECODE = 4, 16, 8
 
 
 def test_perf_full_model_index_domain(mokey_quantizer):
     """End-to-end encoder stack: per-GEMM baseline vs batched+cached."""
-    baseline = execute_model(
-        MODEL_SPEC,
-        sequence_length=MODEL_SEQ,
-        quantizer=mokey_quantizer,
-        cache_weights=False,
-        gemm_batching=False,
-    )
+    # The baseline must measure the truly uncached cost: a fresh quantizer
+    # with the fit memo off, and the module-global plane cache disabled —
+    # otherwise the session fixture's caches would speed up the "per-GEMM"
+    # leg and understate the real speedup.
+    baseline_quantizer = MokeyQuantizer(mokey_quantizer.golden, fit_memo=False)
+    with use_plane_cache(None):
+        baseline = execute_model(
+            MODEL_SPEC,
+            sequence_length=MODEL_SEQ,
+            quantizer=baseline_quantizer,
+            cache_weights=False,
+            gemm_batching=False,
+        )
     executor = IndexDomainModelExecutor(
         MODEL_SPEC, quantizer=mokey_quantizer, cache_weights=True, gemm_batching=True
     )
@@ -241,13 +297,15 @@ def test_perf_full_model_index_domain(mokey_quantizer):
 
     speedup = baseline.total_seconds / warm.total_seconds
     pairs = warm.stats.total_pairs
+    warm_cache = warm.plane_cache.to_dict() if warm.plane_cache else {}
     print(
         f"\nfull model ({baseline.model}, {baseline.num_layers} layers, "
         f"seq {MODEL_SEQ}): per-GEMM {baseline.total_seconds:.2f}s, "
         f"batched+cached cold {cold.total_seconds:.2f}s / warm "
         f"{warm.total_seconds:.2f}s ({speedup:.2f}x, "
         f"{pairs / warm.engine_seconds / 1e9:.2f} Gpairs/s engine), "
-        f"{warm.weight_cache_hits} cache hits, "
+        f"{warm.weight_cache_hits} cache hits, plane hit rate "
+        f"{warm_cache.get('hit_rate', 0.0):.2f}, "
         f"output RMS err {warm.output_rms_error:.4f}"
     )
     record_perf(
@@ -266,6 +324,7 @@ def test_perf_full_model_index_domain(mokey_quantizer):
             "quantize_seconds_warm": warm.quantize_seconds,
             "engine_seconds_warm": warm.engine_seconds,
             "weight_cache_hits_warm": warm.weight_cache_hits,
+            "warm_plane_cache": warm_cache,
             "outlier_pair_fraction": warm.outlier_pair_fraction,
             "output_rms_error": warm.output_rms_error,
         },
@@ -288,19 +347,47 @@ def test_perf_full_model_index_domain(mokey_quantizer):
 
 
 def test_perf_decoder_kv_cache(mokey_quantizer):
-    """GPT-style decode throughput against the encoded KV cache."""
+    """GPT-style decode throughput against the encoded KV cache.
+
+    The cached leg runs first (cold fit memo, cold planes) so its
+    tokens/s is an honest cold-process number for the floor.  The
+    uncached leg then replays the identical workload with plane caching
+    off; since its fits all hit the now-warm memo, the comparison
+    isolates exactly the plane rebuild cost the incremental cache
+    removes — and its outputs/stats double as the bit-identity oracle.
+
+    Earlier bench tests leave gigabytes of encoder planes resident in
+    the process-wide cache; releasing them first keeps this a
+    reproducible cold-cache measurement instead of one coloured by
+    suite order and allocator pressure.
+    """
+    resident = get_plane_cache()
+    if resident is not None:
+        resident.clear()
+    gc.collect()
     measurement = execute_decoder(
         DECODER_SPEC,
         prompt_length=PROMPT_LENGTH,
         decode_tokens=DECODE_TOKENS,
         quantizer=mokey_quantizer,
     )
+    uncached = execute_decoder(
+        DECODER_SPEC,
+        prompt_length=PROMPT_LENGTH,
+        decode_tokens=DECODE_TOKENS,
+        quantizer=mokey_quantizer,
+        plane_caching=False,
+    )
+    cache = measurement.plane_cache.to_dict() if measurement.plane_cache else {}
     print(
         f"\ndecoder ({measurement.model}, {measurement.num_layers} layers, "
         f"prompt {PROMPT_LENGTH} + {DECODE_TOKENS} steps): "
         f"prefill {measurement.prefill_seconds:.2f}s, decode "
         f"{measurement.decode_seconds:.2f}s "
-        f"({measurement.tokens_per_second:.2f} tokens/s), "
+        f"({measurement.tokens_per_second:.2f} tokens/s, floor "
+        f"{DECODER_TPS_FLOOR}), plane-rebuild ablation "
+        f"{uncached.tokens_per_second:.2f} tokens/s, plane hit rate "
+        f"{cache.get('hit_rate', 0.0):.2f}, "
         f"{measurement.stats.total_pairs / 1e6:.1f} Mpairs, "
         f"output RMS err {measurement.output_rms_error:.4f}"
     )
@@ -314,6 +401,9 @@ def test_perf_decoder_kv_cache(mokey_quantizer):
             "prefill_seconds": measurement.prefill_seconds,
             "decode_seconds": measurement.decode_seconds,
             "tokens_per_second": measurement.tokens_per_second,
+            "tokens_per_second_floor": DECODER_TPS_FLOOR,
+            "tokens_per_second_plane_rebuild": uncached.tokens_per_second,
+            "plane_cache": cache,
             "pairs": measurement.stats.total_pairs,
             "cached_tokens": measurement.cached_tokens,
             "outlier_pair_fraction": measurement.outlier_pair_fraction,
@@ -323,5 +413,37 @@ def test_perf_decoder_kv_cache(mokey_quantizer):
     # The cache must hold exactly one K/V row per processed token, and
     # decoding against encoded K/V must stay interactive and accurate.
     assert measurement.cached_tokens == PROMPT_LENGTH + DECODE_TOKENS
-    assert measurement.tokens_per_second > 0.05
     assert measurement.output_rms_error < 0.5
+    # Bit-identity: the incremental plane cache is a pure execution
+    # strategy — outputs and op counts match the uncached oracle exactly.
+    assert np.array_equal(measurement.outputs, uncached.outputs)
+    assert measurement.stats == uncached.stats
+    # The ISSUE 9 floor: plane-cached decode must stay >= 5x the seed.
+    assert measurement.tokens_per_second >= DECODER_TPS_FLOOR, (
+        f"plane-cached decode only {measurement.tokens_per_second:.2f} "
+        f"tokens/s (floor {DECODER_TPS_FLOOR}) — did the incremental "
+        f"plane cache stop being used?"
+    )
+
+
+def test_perf_decoder_multi_stream(mokey_quantizer):
+    """Lockstep multi-stream decode through the serving entry point."""
+    result = replay_decode_streams(
+        model=DECODER_SPEC,
+        num_streams=STREAMS,
+        prompt_length=STREAM_PROMPT,
+        decode_tokens=STREAM_DECODE,
+    )
+    print(
+        f"\nmulti-stream decode ({STREAMS} streams, prompt {STREAM_PROMPT} "
+        f"+ {STREAM_DECODE} steps): prefill {result.prefill_seconds:.2f}s, "
+        f"decode {result.decode_seconds:.2f}s "
+        f"({result.tokens_per_second:.2f} aggregate tokens/s, "
+        f"{result.per_stream_tokens_per_second:.2f} per stream), "
+        f"worst RMS err {result.output_rms_error:.4f}"
+    )
+    record_perf("decoder_multi_stream", result.to_dict())
+    assert result.output_rms_error < 0.5
+    # Batching S streams into shared GEMMs must beat S serial decodes:
+    # aggregate throughput clears the solo floor with streams to spare.
+    assert result.tokens_per_second >= DECODER_TPS_FLOOR

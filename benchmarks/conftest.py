@@ -100,6 +100,32 @@ def _blas_environment() -> dict:
     return env
 
 
+def _torch_environment() -> dict:
+    """Torch version + device, stamped only when a bench imported torch.
+
+    Checking ``sys.modules`` (rather than importing) keeps the stamp
+    truthful: torch appears in the environment exactly when the torch
+    backend actually produced a section in this run, and NumPy-only runs
+    never pay the import.
+    """
+    torch = sys.modules.get("torch")
+    if torch is None:
+        return {}
+    try:
+        cuda = bool(torch.cuda.is_available())
+        env = {
+            "torch": {
+                "version": str(torch.__version__),
+                "device": "cuda" if cuda else "cpu",
+            }
+        }
+        if cuda:
+            env["torch"]["cuda_device"] = str(torch.cuda.get_device_name(0))
+        return env
+    except Exception:  # pragma: no cover - exotic torch builds
+        return {"torch": {"version": str(getattr(torch, "__version__", "unknown"))}}
+
+
 def record_perf(section: str, payload: dict) -> None:
     """Merge one benchmark section into ``BENCH_PERF.json``.
 
@@ -120,6 +146,7 @@ def record_perf(section: str, payload: dict) -> None:
         "machine": platform.machine(),
         "tiny_mode": TINY_MODE,
         **_blas_environment(),
+        **_torch_environment(),
     }
     data[section] = payload
     BENCH_PERF_PATH.write_text(

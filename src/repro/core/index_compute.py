@@ -65,8 +65,12 @@ guarantee), while values agree to floating-point round-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,6 +81,12 @@ __all__ = [
     "IndexComputeStats",
     "IndexComputeResult",
     "IndexMatmulResult",
+    "PlaneSet",
+    "PlaneCache",
+    "PlaneCacheStats",
+    "get_plane_cache",
+    "set_plane_cache",
+    "use_plane_cache",
     "IndexDomainEngine",
     "VectorizedIndexDomainEngine",
     "TorchIndexDomainEngine",
@@ -188,6 +198,356 @@ class IndexMatmulResult:
     row_stats: Optional[List[IndexComputeStats]] = None
 
 
+# --------------------------------------------------------------------------- #
+# The cross-call plane cache
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class PlaneCacheStats:
+    """Counters of the plane cache, a sibling of :class:`IndexComputeStats`.
+
+    Attributes:
+        hits: Digest-cache lookups that found the planes already built.
+        misses: Digest-cache lookups that had to build the planes.
+        attached_hits: Plane sets served from the operand tensor itself
+            (the KV cache's incrementally grown slabs attach these).
+        evictions: Entries dropped by the LRU byte budget.
+        device_uploads: Plane arrays converted/uploaded by a device
+            backend (the torch engine's one-time residency cost).
+        device_reuses: Device-resident plane tensors reused without a
+            conversion or transfer.
+        entries: Entries currently resident in the digest cache.
+        bytes_cached: Bytes currently held by the digest cache.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    attached_hits: int = 0
+    evictions: int = 0
+    device_uploads: int = 0
+    device_reuses: int = 0
+    entries: int = 0
+    bytes_cached: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of plane requests served without rebuilding planes."""
+        served = self.hits + self.attached_hits
+        total = served + self.misses
+        return served / total if total else 0.0
+
+    def minus(self, other: "PlaneCacheStats") -> "PlaneCacheStats":
+        """The delta of the monotonic counters since ``other`` was taken.
+
+        ``entries`` / ``bytes_cached`` are point-in-time gauges and keep
+        this instance's (later) values.
+        """
+        return PlaneCacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            attached_hits=self.attached_hits - other.attached_hits,
+            evictions=self.evictions - other.evictions,
+            device_uploads=self.device_uploads - other.device_uploads,
+            device_reuses=self.device_reuses - other.device_reuses,
+            entries=self.entries,
+            bytes_cached=self.bytes_cached,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {f.name: int(getattr(self, f.name)) for f in fields(self)}
+        data["hit_rate"] = float(self.hit_rate)
+        return data
+
+
+class PlaneSet:
+    """The indicator planes of one operand in one GEMM role.
+
+    ``role="lhs"`` holds the activation-side planes: ``p``/``g`` are the
+    ``(M, K)`` symbol and Gaussian-indicator planes, :attr:`stacked` their
+    ``(2M, K)`` row concatenation ``[P; G]``.  ``role="rhs"`` holds the
+    weight-side planes: ``p``/``g`` are ``(K, N)``, :attr:`stacked` the
+    ``(K, 2N)`` column concatenation ``[Q | H]``.  ``p`` and ``g`` are
+    views into :attr:`stacked`, so one buffer feeds the stacked BLAS call
+    directly.
+
+    The decoded centroids (:attr:`dec`) and their masked variants —
+    needed only when outlier pairs exist — materialise lazily and stay
+    with the plane set, so a cached weight decodes once across every GEMM
+    that touches it.  :attr:`device_tensors` is scratch space for device
+    backends to pin uploaded copies (keyed ``(slot, device)``).
+    """
+
+    __slots__ = (
+        "role",
+        "fit_key",
+        "plane_shape",
+        "stacked",
+        "p",
+        "g",
+        "out",
+        "has_outliers",
+        "gauss_per_k",
+        "device_tensors",
+        "_dec",
+        "_dec_out",
+        "_dec_gauss",
+        "_encoded",
+        "_dictionary",
+        "_on_grow",
+    )
+
+    def __init__(
+        self,
+        p: np.ndarray,
+        g: np.ndarray,
+        out: np.ndarray,
+        role: str,
+        fit_key: Tuple[float, float, int],
+        dictionary: Optional[TensorDictionary] = None,
+        encoded: Optional[EncodedValues] = None,
+        dec: Optional[np.ndarray] = None,
+    ) -> None:
+        if role not in ("lhs", "rhs"):
+            raise ValueError(f"role must be 'lhs' or 'rhs', got {role!r}")
+        self.role = role
+        self.fit_key = fit_key
+        self.plane_shape = tuple(out.shape)
+        rows, cols = self.plane_shape
+        axis = 0 if role == "lhs" else 1
+        # C-contiguous everywhere: transposed/sliced sources may arrive
+        # F-ordered, and a fixed layout keeps every BLAS call bitwise
+        # reproducible regardless of how the planes were assembled.
+        out = np.ascontiguousarray(out)
+        stacked = np.concatenate([p, g], axis=axis)
+        if role == "lhs":
+            self.p, self.g = stacked[:rows], stacked[rows:]
+        else:
+            self.p, self.g = stacked[:, :cols], stacked[:, cols:]
+        self.stacked = stacked
+        self.out = out
+        self.has_outliers = bool(out.any())
+        self.gauss_per_k = (
+            (~out).sum(axis=1, dtype=np.int64) if role == "rhs" else None
+        )
+        self.device_tensors: Dict[Tuple[str, str], Any] = {}
+        self._dec = dec
+        self._dec_out: Optional[np.ndarray] = None
+        self._dec_gauss: Optional[np.ndarray] = None
+        self._encoded = encoded
+        self._dictionary = dictionary
+        self._on_grow = None
+
+    @property
+    def dec(self) -> np.ndarray:
+        """Decoded 16-bit centroids in the plane orientation (lazy)."""
+        if self._dec is None:
+            if self._dictionary is None or self._encoded is None:
+                raise ValueError("plane set was built without a decode source")
+            self._dec = np.ascontiguousarray(
+                self._dictionary.decode(self._encoded, apply_fixed_point=False).reshape(
+                    self.plane_shape
+                )
+            )
+            self._grew(self._dec.nbytes)
+        return self._dec
+
+    @property
+    def dec_out(self) -> np.ndarray:
+        """``dec`` masked to the outlier entries (lazy)."""
+        if self._dec_out is None:
+            self._dec_out = self.dec * self.out
+            self._grew(self._dec_out.nbytes)
+        return self._dec_out
+
+    @property
+    def dec_gauss(self) -> np.ndarray:
+        """``dec`` masked to the Gaussian entries (lazy)."""
+        if self._dec_gauss is None:
+            self._dec_gauss = self.dec * self.g
+            self._grew(self._dec_gauss.nbytes)
+        return self._dec_gauss
+
+    def _grew(self, nbytes: int) -> None:
+        if self._on_grow is not None:
+            self._on_grow(int(nbytes))
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes currently held (stacked + mask + materialised lazies)."""
+        total = int(self.stacked.nbytes) + int(self.out.nbytes)
+        for array in (self._dec, self._dec_out, self._dec_gauss):
+            if array is not None:
+                total += int(array.nbytes)
+        return total
+
+
+#: Default LRU budget of the process-wide plane cache, in megabytes.
+#: Override with the ``REPRO_PLANE_CACHE_MB`` environment variable.
+DEFAULT_PLANE_CACHE_MB = 4096.0
+
+
+class PlaneCache:
+    """Cross-call LRU cache of weight-side :class:`PlaneSet` artifacts.
+
+    Keys are the operand's content digest (plus role), so an entry can
+    never serve stale planes: a tensor with different encoded values or a
+    different dictionary has a different digest *by construction* — there
+    is no invalidation protocol to get wrong.  The byte budget covers the
+    host plane arrays (stacked planes, outlier mask, lazily materialised
+    decoded centroids); least-recently-used entries are dropped when the
+    budget is exceeded, and any device-resident copies go with them.
+
+    Thread-safe; counters are exposed as :class:`PlaneCacheStats`.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is None:
+            megabytes = float(
+                os.environ.get("REPRO_PLANE_CACHE_MB", DEFAULT_PLANE_CACHE_MB)
+            )
+            max_bytes = int(megabytes * 1024 * 1024)
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Tuple[str, str], PlaneSet]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.attached_hits = 0
+        self.evictions = 0
+        self.device_uploads = 0
+        self.device_reuses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_cached(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: Tuple[str, str]) -> Optional[PlaneSet]:
+        """The cached plane set for ``key``, counting the hit or miss."""
+        with self._lock:
+            plane_set = self._entries.get(key)
+            if plane_set is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plane_set
+
+    def put(self, key: Tuple[str, str], plane_set: PlaneSet) -> None:
+        """Insert ``plane_set`` under ``key``, evicting LRU entries over budget."""
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+                previous._on_grow = None
+            self._entries[key] = plane_set
+            self._bytes += plane_set.nbytes
+            plane_set._on_grow = self._grow
+            self._evict_over_budget()
+
+    def _grow(self, nbytes: int) -> None:
+        """Account a cached entry's lazy materialisation (decoded centroids)."""
+        with self._lock:
+            self._bytes += nbytes
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        # Caller holds the lock.  Evicting the newest entry too (when it
+        # alone exceeds the budget) keeps the budget strict; the caller
+        # still holds a reference and proceeds, the cache just stays cold.
+        while self._bytes > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            evicted._on_grow = None
+            self.evictions += 1
+
+    def note_attached_hit(self) -> None:
+        with self._lock:
+            self.attached_hits += 1
+
+    def note_device_upload(self) -> None:
+        with self._lock:
+            self.device_uploads += 1
+
+    def note_device_reuse(self) -> None:
+        with self._lock:
+            self.device_reuses += 1
+
+    def stats(self) -> PlaneCacheStats:
+        """A snapshot of every counter (see :meth:`PlaneCacheStats.minus`)."""
+        with self._lock:
+            return PlaneCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                attached_hits=self.attached_hits,
+                evictions=self.evictions,
+                device_uploads=self.device_uploads,
+                device_reuses=self.device_reuses,
+                entries=len(self._entries),
+                bytes_cached=self._bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their totals)."""
+        with self._lock:
+            for plane_set in self._entries.values():
+                plane_set._on_grow = None
+            self._entries.clear()
+            self._bytes = 0
+
+
+_PLANE_CACHE_LOCK = threading.Lock()
+_PLANE_CACHE_UNSET = object()
+_plane_cache: Any = _PLANE_CACHE_UNSET
+
+
+def get_plane_cache() -> Optional[PlaneCache]:
+    """The process-wide plane cache (``None`` when caching is disabled).
+
+    Created lazily with the default budget on first use; swap or disable
+    it with :func:`set_plane_cache` / :func:`use_plane_cache`.
+    """
+    global _plane_cache
+    if _plane_cache is _PLANE_CACHE_UNSET:
+        with _PLANE_CACHE_LOCK:
+            if _plane_cache is _PLANE_CACHE_UNSET:
+                _plane_cache = PlaneCache()
+    return _plane_cache
+
+
+def _swap_plane_cache(cache: Any) -> Any:
+    global _plane_cache
+    with _PLANE_CACHE_LOCK:
+        previous = _plane_cache
+        _plane_cache = cache
+    return previous
+
+
+def set_plane_cache(cache: Optional[PlaneCache]) -> Optional[PlaneCache]:
+    """Install ``cache`` as the process-wide plane cache (``None`` disables).
+
+    Returns the previously installed cache, if any.
+    """
+    previous = _swap_plane_cache(cache)
+    return None if previous is _PLANE_CACHE_UNSET else previous
+
+
+@contextmanager
+def use_plane_cache(cache: Optional[PlaneCache]) -> Iterator[Optional[PlaneCache]]:
+    """Scoped plane-cache override; ``None`` disables caching in the scope."""
+    previous = _swap_plane_cache(cache)
+    try:
+        yield cache
+    finally:
+        _swap_plane_cache(previous)
+
+
 class IndexDomainEngine:
     """Computes dot products directly on dictionary indexes (scalar reference).
 
@@ -219,6 +579,9 @@ class IndexDomainEngine:
         # the OPP multiplies the SoI histogram with during post-processing).
         self.soi_bases = self.a ** np.arange(2 * self.num_entries - 1, dtype=np.float64)
         self.half_bases = self.a ** np.arange(self.num_entries, dtype=np.float64)
+        #: Golden-fit identity of the planes this engine builds; plane sets
+        #: attached to tensors are only accepted when their fit matches.
+        self._fit_key = (float(self.a), float(self.b), int(self.num_entries))
 
     @property
     def post_processing_macs_per_output(self) -> int:
@@ -356,41 +719,61 @@ class IndexDomainEngine:
 class _IndicatorPlanes:
     """The per-GEMM indicator planes of the vectorized formulation.
 
-    ``p_a``/``g_a`` are the ``(M, K)`` activation planes (symbol-mapped
-    exponential plane and Gaussian indicator), ``q_w``/``h_w`` the
-    ``(K, N)`` weight planes, ``out_a``/``out_w`` the boolean outlier
-    masks.  Built once per GEMM, consumed by the backend products, the
-    value combination and the exact statistics.
+    A pair of :class:`PlaneSet` artifacts — the ``(M, K)`` activation
+    planes in the ``lhs`` role and the ``(K, N)`` weight planes in the
+    ``rhs`` role.  Either side may come from the plane cache (or arrive
+    pre-built on the operand tensor); the compatibility properties keep
+    the plane names of the formulation (``p_a``/``g_a``/``q_w``/``h_w``).
     """
 
-    p_a: np.ndarray
-    g_a: np.ndarray
-    q_w: np.ndarray
-    h_w: np.ndarray
-    out_a: np.ndarray
-    out_w: np.ndarray
+    act: PlaneSet
+    wgt: PlaneSet
+
+    @property
+    def p_a(self) -> np.ndarray:
+        return self.act.p
+
+    @property
+    def g_a(self) -> np.ndarray:
+        return self.act.g
+
+    @property
+    def q_w(self) -> np.ndarray:
+        return self.wgt.p
+
+    @property
+    def h_w(self) -> np.ndarray:
+        return self.wgt.g
+
+    @property
+    def out_a(self) -> np.ndarray:
+        return self.act.out
+
+    @property
+    def out_w(self) -> np.ndarray:
+        return self.wgt.out
 
     @property
     def m_rows(self) -> int:
-        return self.p_a.shape[0]
+        return self.act.plane_shape[0]
 
     @property
     def k_len(self) -> int:
-        return self.p_a.shape[1]
+        return self.act.plane_shape[1]
 
     @property
     def n_cols(self) -> int:
-        return self.q_w.shape[1]
+        return self.wgt.plane_shape[1]
 
     @property
     def lhs(self) -> np.ndarray:
         """The stacked ``(2M, K)`` left operand: rows ``{P, G}``."""
-        return np.concatenate([self.p_a, self.g_a], axis=0)
+        return self.act.stacked
 
     @property
     def rhs(self) -> np.ndarray:
         """The stacked ``(K, 2N)`` right operand: columns ``{Q, H}``."""
-        return np.concatenate([self.q_w, self.h_w], axis=1)
+        return self.wgt.stacked
 
 
 class VectorizedIndexDomainEngine(IndexDomainEngine):
@@ -423,41 +806,100 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
         """One batched ``(B, R, K) @ (B, K, C)`` product on this backend."""
         return np.matmul(lhs, rhs)
 
+    def _plane_operand(self, plane_set: PlaneSet, slot: str, array: np.ndarray) -> Any:
+        """Backend hook: may return a device-resident handle for ``array``.
+
+        The NumPy oracle returns the host array unchanged; the torch
+        backend pins cached plane arrays on its device (uploaded once,
+        reused every GEMM that touches the plane set).
+        """
+        return array
+
     # ------------------------------------------------------------------ #
     # Stages of the indicator-plane formulation
     # ------------------------------------------------------------------ #
+    def _build_plane_set(
+        self,
+        tensor: QuantizedTensor,
+        role: str,
+        shape: Tuple[int, int],
+        dictionary: TensorDictionary,
+    ) -> PlaneSet:
+        """Build one operand's planes elementwise (always NumPy).
+
+        The symbol-mapped exponential plane ``P = theta * (a**i + b)``
+        masked to Gaussian entries (folding the offset b up front merges
+        the SoI/SoA1/SoW1/PoM1 products into a single block:
+        ``P @ Q = U@V + b*(U@R + T@V) + b^2 * T@R``), plus the Gaussian
+        indicator plane ``G``.
+        """
+        encoded = tensor.encoded
+        out = encoded.is_outlier.reshape(shape)
+        g = (~out).astype(np.float64)
+        p = (
+            encoded.sign.reshape(shape).astype(np.float64)
+            * (self.half_bases[encoded.gaussian_index.reshape(shape)] + self.b)
+            * g
+        )
+        return PlaneSet(
+            p=p,
+            g=g,
+            out=out,
+            role=role,
+            fit_key=self._fit_key,
+            dictionary=dictionary,
+            encoded=encoded,
+        )
+
+    def _plane_set(
+        self, tensor: QuantizedTensor, role: str, shape: Tuple[int, int]
+    ) -> PlaneSet:
+        """Resolve one operand's planes: attached → digest cache → build.
+
+        An operand carrying pre-built planes (``tensor._plane_sets`` — the
+        KV cache's incremental slabs) wins when its fit and shape match.
+        Otherwise the weight (``rhs``) role consults the process plane
+        cache keyed by the tensor's content digest; activations are built
+        fresh (they change every call, hashing them would only add cost).
+        """
+        cache = get_plane_cache()
+        attached = getattr(tensor, "_plane_sets", None)
+        if attached is not None:
+            candidate = attached.get(role)
+            if (
+                candidate is not None
+                and candidate.fit_key == self._fit_key
+                and candidate.plane_shape == tuple(shape)
+            ):
+                if cache is not None:
+                    cache.note_attached_hit()
+                return candidate
+        dictionary = self.act_dict if role == "lhs" else self.weight_dict
+        if cache is not None and role == "rhs":
+            key = (tensor.content_digest(), role)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            built = self._build_plane_set(tensor, role, shape, dictionary)
+            cache.put(key, built)
+            return built
+        return self._build_plane_set(tensor, role, shape, dictionary)
+
     def _build_planes(
         self, activations: QuantizedTensor, weights: QuantizedTensor
     ) -> _IndicatorPlanes:
-        """Indicator planes of one GEMM (always NumPy, backend-independent).
-
-        Activation planes (M, K): the symbol-mapped exponential plane
-        ``P = theta * (a**i + b)`` masked to Gaussian entries (folding the
-        offset b up front merges the SoI/SoA1/SoW1/PoM1 products into a
-        single block: ``P @ Q = U@V + b*(U@R + T@V) + b^2 * T@R``), plus
-        the Gaussian indicator plane ``G``.  Symmetrically ``Q, H`` for
-        the weights.
-        """
+        """Indicator planes of one GEMM, each side resolved through the cache."""
         m_rows, n_cols = _check_matmul_shapes(activations, weights)
         k_len = activations.shape[1]
-        enc_a, enc_w = activations.encoded, weights.encoded
-        b = self.b
+        return _IndicatorPlanes(
+            act=self._plane_set(activations, "lhs", (m_rows, k_len)),
+            wgt=self._plane_set(weights, "rhs", (k_len, n_cols)),
+        )
 
-        out_a = enc_a.is_outlier.reshape(m_rows, k_len)
-        out_w = enc_w.is_outlier.reshape(k_len, n_cols)
-        g_a = (~out_a).astype(np.float64)
-        p_a = (
-            enc_a.sign.reshape(m_rows, k_len).astype(np.float64)
-            * (self.half_bases[enc_a.gaussian_index.reshape(m_rows, k_len)] + b)
-            * g_a
-        )
-        h_w = (~out_w).astype(np.float64)
-        q_w = (
-            enc_w.sign.reshape(k_len, n_cols).astype(np.float64)
-            * (self.half_bases[enc_w.gaussian_index.reshape(k_len, n_cols)] + b)
-            * h_w
-        )
-        return _IndicatorPlanes(p_a=p_a, g_a=g_a, q_w=q_w, h_w=h_w, out_a=out_a, out_w=out_w)
+    def _stacked_product(self, planes: _IndicatorPlanes) -> np.ndarray:
+        """The ``(2M, 2N)`` stacked plane product, rhs possibly device-resident."""
+        rhs = self._plane_operand(planes.wgt, "stacked", planes.wgt.stacked)
+        return self._product(planes.act.stacked, rhs)
 
     def _outlier_values(
         self,
@@ -469,21 +911,22 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
 
         ``(A outlier, any W)`` plus ``(A Gaussian, W outlier)`` covers
         every pair in which either operand is an outlier, exactly once.
-        Returns ``None`` when no operand holds outliers.
+        Returns ``None`` when no operand holds outliers.  The decoded
+        centroids live on the plane sets, so a cached weight decodes once
+        across every GEMM that touches it.
         """
-        if not (planes.out_a.any() or planes.out_w.any()):
+        act, wgt = planes.act, planes.wgt
+        if not (act.has_outliers or wgt.has_outliers):
             return None
-        dec_a = self.act_dict.decode(activations.encoded, apply_fixed_point=False).reshape(
-            planes.m_rows, planes.k_len
-        )
-        dec_w = self.weight_dict.decode(weights.encoded, apply_fixed_point=False).reshape(
-            planes.k_len, planes.n_cols
-        )
         contribution: Optional[np.ndarray] = None
-        if planes.out_a.any():
-            contribution = self._product(dec_a * planes.out_a, dec_w)
-        if planes.out_w.any():
-            second = self._product(dec_a * planes.g_a, dec_w * planes.out_w)
+        if act.has_outliers:
+            contribution = self._product(
+                act.dec_out, self._plane_operand(wgt, "dec", wgt.dec)
+            )
+        if wgt.has_outliers:
+            second = self._product(
+                act.dec_gauss, self._plane_operand(wgt, "dec_out", wgt.dec_out)
+            )
             contribution = second if contribution is None else contribution + second
         return contribution
 
@@ -522,8 +965,8 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
         backend reports identical counts.
         """
         m_rows, n_cols, k_len = planes.m_rows, planes.n_cols, planes.k_len
-        gauss_a_int = (~planes.out_a).astype(np.int64)
-        w_gauss_per_k = (~planes.out_w).sum(axis=1, dtype=np.int64)  # (K,)
+        gauss_a_int = (~planes.act.out).astype(np.int64)
+        w_gauss_per_k = planes.wgt.gauss_per_k  # (K,) — cached on the plane set
         gaussian_per_row = gauss_a_int @ w_gauss_per_k  # (M,)
         pairs_per_row = n_cols * k_len
         gaussian_total = int(gaussian_per_row.sum())
@@ -576,7 +1019,7 @@ class VectorizedIndexDomainEngine(IndexDomainEngine):
         planes = self._build_planes(activations, weights)
         # One stacked backend call yields the four plane products:
         # rows {P, G} x cols {Q, H}.
-        prod = self._product(planes.lhs, planes.rhs)
+        prod = self._stacked_product(planes)
         outlier_values = self._outlier_values(activations, weights, planes)
         values = self._combine_values(planes, prod, outlier_values)
         stats, row_stats = self._stats_from_planes(planes, per_row_stats)
@@ -645,12 +1088,39 @@ class TorchIndexDomainEngine(VectorizedIndexDomainEngine):
             np.ascontiguousarray(array), dtype=self._torch.float64
         ).to(self.device)
 
+    def _as_device(self, value: Any):
+        """Accept either a host ndarray or an already-resident tensor."""
+        if isinstance(value, np.ndarray):
+            return self._tensor(value)
+        return value
+
+    def _plane_operand(self, plane_set: PlaneSet, slot: str, array: np.ndarray) -> Any:
+        """Pin cached plane arrays on the device, uploaded once per slot.
+
+        The handle lives on the :class:`PlaneSet`, so any engine instance
+        targeting the same device reuses it — engines are constructed
+        fresh per GEMM, the plane sets are what persist.
+        """
+        key = (slot, self.device)
+        resident = plane_set.device_tensors.get(key)
+        cache = get_plane_cache()
+        if resident is None:
+            resident = self._tensor(array)
+            plane_set.device_tensors[key] = resident
+            if cache is not None:
+                cache.note_device_upload()
+        elif cache is not None:
+            cache.note_device_reuse()
+        return resident
+
     def _product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        out = self._torch.einsum("mk,kn->mn", self._tensor(lhs), self._tensor(rhs))
+        out = self._torch.einsum("mk,kn->mn", self._as_device(lhs), self._as_device(rhs))
         return out.cpu().numpy()
 
     def _batched_product(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        out = self._torch.einsum("bmk,bkn->bmn", self._tensor(lhs), self._tensor(rhs))
+        out = self._torch.einsum(
+            "bmk,bkn->bmn", self._as_device(lhs), self._as_device(rhs)
+        )
         return out.cpu().numpy()
 
 
@@ -868,16 +1338,37 @@ def index_domain_matmul_many(
         _check_matmul_shapes(act, weights)
         groups.setdefault((act.shape[0], act.shape[1], weights.shape[1]), []).append(index)
 
-    for indices in groups.values():
-        if len(indices) == 1:
-            only = indices[0]
+    for shape_indices in groups.values():
+        if len(shape_indices) == 1:
+            only = shape_indices[0]
             results[only] = engines[only].matmul(pairs[only][0], pairs[only][1])
             continue
+        # Partition by weight *object* identity: pairs sharing one weight
+        # tensor (per-head decode GEMMs across serving streams) collapse
+        # to a single row-concatenated GEMM against that weight's planes.
+        # The partition depends only on the input pairs — never on cache
+        # state — so cached and uncached runs take identical code paths.
+        shared: Dict[int, List[int]] = {}
+        for i in shape_indices:
+            shared.setdefault(id(pairs[i][1]), []).append(i)
+        singles: List[int] = []
+        for sub in shared.values():
+            if len(sub) >= 2:
+                _shared_rhs_group(engines, pairs, sub, results)
+            else:
+                singles.extend(sub)
+        if not singles:
+            continue
+        if len(singles) == 1:
+            only = singles[0]
+            results[only] = engines[only].matmul(pairs[only][0], pairs[only][1])
+            continue
+        indices = singles
         planes = [engines[i]._build_planes(pairs[i][0], pairs[i][1]) for i in indices]
         prods = engines[indices[0]]._batched_product(
             np.stack([p.lhs for p in planes]), np.stack([p.rhs for p in planes])
         )
-        outlier_blocks = _batched_outlier_values(engines, pairs, indices, planes)
+        outlier_blocks = _batched_outlier_values(engines[indices[0]], planes)
         for position, index in enumerate(indices):
             outlier = None if outlier_blocks is None else outlier_blocks[position]
             values = engines[index]._combine_values(planes[position], prods[position], outlier)
@@ -887,42 +1378,75 @@ def index_domain_matmul_many(
 
 
 def _batched_outlier_values(
-    engines: List[IndexDomainEngine],
-    pairs,
-    indices: List[int],
+    base: "VectorizedIndexDomainEngine",
     planes: List[_IndicatorPlanes],
 ) -> Optional[np.ndarray]:
     """Batched masked outlier MACs for one same-shape group.
 
     Pairs without outliers contribute an exactly-zero mask product, so
     batching over the whole group is exact; skipped entirely (``None``)
-    when no pair in the group holds outliers.
+    when no pair in the group holds outliers.  Decoded centroids come
+    from the plane sets, so cached weights decode once per process.
     """
-    if not any(p.out_a.any() or p.out_w.any() for p in planes):
+    if not any(p.act.has_outliers or p.wgt.has_outliers for p in planes):
         return None
-    dec_a, dec_w = [], []
-    for position, index in enumerate(indices):
-        act, weights = pairs[index]
-        resolved, p = engines[index], planes[position]
-        dec_a.append(
-            resolved.act_dict.decode(act.encoded, apply_fixed_point=False).reshape(
-                p.m_rows, p.k_len
-            )
-        )
-        dec_w.append(
-            resolved.weight_dict.decode(weights.encoded, apply_fixed_point=False).reshape(
-                p.k_len, p.n_cols
-            )
-        )
-    base = engines[indices[0]]
     first = base._batched_product(
-        np.stack([d * p.out_a for d, p in zip(dec_a, planes)]), np.stack(dec_w)
+        np.stack([p.act.dec_out for p in planes]),
+        np.stack([p.wgt.dec for p in planes]),
     )
     second = base._batched_product(
-        np.stack([d * p.g_a for d, p in zip(dec_a, planes)]),
-        np.stack([d * p.out_w for d, p in zip(dec_w, planes)]),
+        np.stack([p.act.dec_gauss for p in planes]),
+        np.stack([p.wgt.dec_out for p in planes]),
     )
     return first + second
+
+
+def _shared_rhs_group(
+    engines: List[IndexDomainEngine],
+    pairs,
+    indices: List[int],
+    results: List[Optional[IndexMatmulResult]],
+) -> None:
+    """One GEMM for a same-shape subgroup sharing one weight tensor object.
+
+    The stacked lhs planes of every pair are row-concatenated against the
+    single shared rhs plane set, so S streams hitting the same weight
+    slice cost one BLAS call instead of S.  Row-slicing the concatenated
+    product is exact — GEMM output rows are independent.
+    """
+    base = engines[indices[0]]
+    planes = [engines[i]._build_planes(pairs[i][0], pairs[i][1]) for i in indices]
+    wgt = planes[0].wgt
+    lhs = np.concatenate([p.act.stacked for p in planes], axis=0)
+    prod_cat = base._product(lhs, base._plane_operand(wgt, "stacked", wgt.stacked))
+    out_cat = None
+    if any(p.act.has_outliers for p in planes):
+        out_cat = base._product(
+            np.concatenate([p.act.dec_out for p in planes], axis=0),
+            base._plane_operand(wgt, "dec", wgt.dec),
+        )
+    out2_cat = None
+    if wgt.has_outliers:
+        out2_cat = base._product(
+            np.concatenate([p.act.dec_gauss for p in planes], axis=0),
+            base._plane_operand(wgt, "dec_out", wgt.dec_out),
+        )
+    row = 0
+    mrow = 0
+    for p, index in zip(planes, indices):
+        rows = p.m_rows
+        prod = prod_cat[row : row + 2 * rows]
+        outlier = None
+        if out_cat is not None:
+            outlier = out_cat[mrow : mrow + rows]
+        if out2_cat is not None:
+            second = out2_cat[mrow : mrow + rows]
+            outlier = second if outlier is None else outlier + second
+        row += 2 * rows
+        mrow += rows
+        values = engines[index]._combine_values(p, prod, outlier)
+        stats, _ = engines[index]._stats_from_planes(p)
+        results[index] = IndexMatmulResult(values=values, stats=stats)
 
 
 def vectorized_index_domain_matmul(

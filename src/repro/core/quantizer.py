@@ -8,8 +8,11 @@ to decode themselves and how many bits they occupy in memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -77,6 +80,37 @@ class QuantizedTensor:
         original = self.size * baseline_bits_per_value
         return original / self.memory_bits()
 
+    def content_digest(self) -> str:
+        """Content hash of the encoded stream plus its dictionary.
+
+        Two tensors share a digest exactly when their encoded fields,
+        shape, and every dictionary parameter that influences decode or
+        plane construction agree — so anything keyed by this digest (the
+        plane cache) can never go stale: a different tensor is a
+        different key by construction.  Memoised per instance; the
+        encoding is immutable once constructed.
+        """
+        memoised = getattr(self, "_content_digest", None)
+        if memoised is not None:
+            return memoised
+        enc, d = self.encoded, self.dictionary
+        fit = d.golden.fit
+        h = hashlib.sha1()
+        h.update(repr(self.shape).encode())
+        for field in (enc.is_outlier, enc.sign, enc.gaussian_index, enc.outlier_index):
+            h.update(np.ascontiguousarray(field).tobytes())
+        h.update(
+            np.array(
+                [d.mean, d.std, d.threshold, fit.a, fit.b], dtype=np.float64
+            ).tobytes()
+        )
+        h.update(np.array([fit.num_entries], dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(d.gaussian_half, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(d.outlier_centroids, dtype=np.float64).tobytes())
+        digest = h.hexdigest()
+        self._content_digest = digest
+        return digest
+
     def quantization_error(self, original: np.ndarray) -> Dict[str, float]:
         """Error statistics of the reconstruction against ``original``."""
         original = np.asarray(original, dtype=np.float64).reshape(self.shape)
@@ -109,17 +143,71 @@ class MokeyQuantizer:
         use_exponential: bool = True,
         fixed_point_bits: int = 16,
         max_outlier_entries: int = 16,
+        fit_memo: bool = True,
+        fit_memo_entries: int = 256,
     ) -> None:
         self.golden = golden or generate_golden_dictionary()
         self.use_exponential = use_exponential
         self.fixed_point_bits = fixed_point_bits
         self.max_outlier_entries = max_outlier_entries
+        self.fit_memo = bool(fit_memo)
+        self.fit_memo_entries = int(fit_memo_entries)
+        self.fit_memo_hits = 0
+        self.fit_memo_misses = 0
+        self._fit_memo: "OrderedDict[str, TensorDictionary]" = OrderedDict()
+        self._fit_memo_lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The lock (unpicklable) and memo (a cache, not state) stay behind.
+        state = dict(self.__dict__)
+        state.pop("_fit_memo_lock", None)
+        state["_fit_memo"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._fit_memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Dictionary fitting
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fit_digest(values: np.ndarray) -> str:
+        # No shape: the fit only sees the flattened value distribution.
+        data = np.ascontiguousarray(values, dtype=np.float64)
+        return hashlib.sha1(data.tobytes()).hexdigest()
+
     def fit_dictionary(self, name: str, values: np.ndarray) -> TensorDictionary:
-        """Fit per-tensor dictionaries from the full tensor (weights path)."""
+        """Fit per-tensor dictionaries from the full tensor (weights path).
+
+        Fits are memoised by a content digest of the float64 value bytes
+        (LRU, :attr:`fit_memo_entries` deep): refitting an identical
+        tensor — warm forwards, repeated prefills — returns the previous
+        fit, renamed if the caller's name differs.  Exact-bytes keying
+        means a hit is the *same* fit the cold path would compute.
+        """
+        values = np.asarray(values)
+        if not self.fit_memo:
+            return self._fit_fresh(name, values)
+        digest = self._fit_digest(values)
+        with self._fit_memo_lock:
+            memoised = self._fit_memo.get(digest)
+            if memoised is not None:
+                self._fit_memo.move_to_end(digest)
+                self.fit_memo_hits += 1
+        if memoised is not None:
+            if memoised.name != name:
+                memoised = replace(memoised, name=name)
+            return memoised
+        fitted = self._fit_fresh(name, values)
+        with self._fit_memo_lock:
+            self.fit_memo_misses += 1
+            self._fit_memo[digest] = fitted
+            while len(self._fit_memo) > self.fit_memo_entries:
+                self._fit_memo.popitem(last=False)
+        return fitted
+
+    def _fit_fresh(self, name: str, values: np.ndarray) -> TensorDictionary:
         return TensorDictionary.fit(
             name=name,
             golden=self.golden,

@@ -26,8 +26,10 @@ from repro.serving.policies import POLICY_KINDS, PolicySpec, register_policy
 from repro.serving.replay import (
     BatchCost,
     BatchCostModel,
+    DecodeStreamsResult,
     ReplayResult,
     ServingMetrics,
+    replay_decode_streams,
     replay_trace,
 )
 from repro.serving.spec import (
@@ -53,6 +55,8 @@ __all__ = [
     "ServingMetrics",
     "ReplayResult",
     "replay_trace",
+    "DecodeStreamsResult",
+    "replay_decode_streams",
     "ServingSpec",
     "ServingRecord",
     "ServingProgress",

@@ -37,6 +37,8 @@ import numpy as np
 from repro.core.index_compute import (
     IndexComputeStats,
     IndexMatmulResult,
+    PlaneCacheStats,
+    get_plane_cache,
     index_domain_matmul_many,
     make_engine,
     resolve_engine,
@@ -96,6 +98,8 @@ class LayerMeasurement:
         total_seconds: End-to-end wall time of the layer forward.
         output_rms_error: RMS error of the index-domain layer output
             against the FP forward, relative to the FP output RMS.
+        plane_cache: Plane-cache counter delta over this measurement
+            (``None`` when the caller did not capture one).
     """
 
     model: str
@@ -107,6 +111,7 @@ class LayerMeasurement:
     engine_seconds: float
     total_seconds: float
     output_rms_error: float
+    plane_cache: Optional[PlaneCacheStats] = None
 
     @property
     def measured_macs(self) -> int:
@@ -604,9 +609,14 @@ def execute_encoder_layer(
             cache_weights=cache_weights,
             gemm_batching=gemm_batching,
         )
+    plane_cache = get_plane_cache()
+    cache_before = None if plane_cache is None else plane_cache.stats()
     started = time.perf_counter()
     output, gemms = executor.run_block(block, hidden_states, layer_key=seed)
     total_seconds = time.perf_counter() - started
+    cache_delta = (
+        None if cache_before is None else get_plane_cache().stats().minus(cache_before)
+    )
 
     fp_output = block(hidden_states)
     fp_rms = float(np.sqrt(np.mean(np.square(fp_output)))) or 1.0
@@ -625,4 +635,5 @@ def execute_encoder_layer(
         engine_seconds=sum(g.engine_seconds for g in gemms),
         total_seconds=total_seconds,
         output_rms_error=rms_error,
+        plane_cache=cache_delta,
     )

@@ -32,15 +32,22 @@ GEMM sets (multi-stream serving, replayed traces) can feed directly.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.index_compute import IndexComputeStats
+from repro.core.index_compute import (
+    IndexComputeStats,
+    PlaneCacheStats,
+    PlaneSet,
+    get_plane_cache,
+    use_plane_cache,
+)
 from repro.core.quantizer import MokeyQuantizer, QuantizedTensor
-from repro.core.tensor_dictionary import EncodedValues
+from repro.core.tensor_dictionary import EncodedValues, TensorDictionary
 from repro.transformer.config import TransformerConfig
 from repro.transformer.encoder import EncoderBlock
 from repro.transformer.functional import gelu, softmax
@@ -56,8 +63,10 @@ __all__ = [
     "GPT_DECODER_CONFIG",
     "ModelMeasurement",
     "DecodeMeasurement",
+    "MultiStreamDecodeMeasurement",
     "IndexDomainModelExecutor",
     "IndexKVCache",
+    "MultiStreamDecoder",
     "execute_model",
     "execute_decoder",
 ]
@@ -98,6 +107,8 @@ class ModelMeasurement:
         weight_cache_hits: GEMMs served from the weight cache during
             this forward (0 on the first forward of a fresh executor,
             one per weight GEMM on every later forward).
+        plane_cache: Plane-cache counter delta over this forward
+            (``None`` when caching is disabled).
     """
 
     model: str
@@ -111,6 +122,7 @@ class ModelMeasurement:
     total_seconds: float
     output_rms_error: float
     weight_cache_hits: int
+    plane_cache: Optional[PlaneCacheStats] = None
 
     @property
     def measured_macs(self) -> int:
@@ -193,6 +205,8 @@ class IndexDomainModelExecutor:
         """
         batch, seq, _hidden = hidden_states.shape
         hits_before = self.executor.weight_cache_hits
+        plane_cache = get_plane_cache()
+        cache_before = None if plane_cache is None else plane_cache.stats()
         layers: List[LayerMeasurement] = []
         stats = IndexComputeStats()
         fp_states = hidden_states
@@ -246,6 +260,11 @@ class IndexDomainModelExecutor:
             total_seconds=total_seconds,
             output_rms_error=layers[-1].output_rms_error,
             weight_cache_hits=self.executor.weight_cache_hits - hits_before,
+            plane_cache=(
+                None
+                if cache_before is None
+                else get_plane_cache().stats().minus(cache_before)
+            ),
         )
 
 
@@ -354,6 +373,108 @@ def _concat_quantized(old: QuantizedTensor, new: QuantizedTensor) -> QuantizedTe
     )
 
 
+class _PlaneSlab:
+    """Incrementally grown indicator-plane rows for one cached K/V tensor.
+
+    Plane building is elementwise, so appending one encoded row's plane
+    slice to a grown buffer produces *bit-identical* arrays to rebuilding
+    the planes from the full encoding — that is the whole correctness
+    argument, and the property tests lock it.  Buffers double in capacity
+    (amortised O(1) per appended row) and hold the symbol plane ``p``,
+    the Gaussian indicator ``g``, the outlier mask and the decoded
+    centroids for every cached row; per-head plane sets are contiguous
+    column slices of these buffers.
+    """
+
+    def __init__(self, dictionary: TensorDictionary, width: int) -> None:
+        fit = dictionary.golden.fit
+        # Identical construction to IndexDomainEngine.__init__, so the
+        # slab's planes are bitwise the engine's.
+        self._half_bases = fit.a ** np.arange(fit.num_entries, dtype=np.float64)
+        self._b = float(fit.b)
+        self.fit_key = (float(fit.a), float(fit.b), int(fit.num_entries))
+        self._dictionary = dictionary
+        self._width = int(width)
+        self._rows = 0
+        capacity = 16
+        self._p = np.empty((capacity, self._width), dtype=np.float64)
+        self._g = np.empty((capacity, self._width), dtype=np.float64)
+        self._out = np.empty((capacity, self._width), dtype=bool)
+        self._dec = np.empty((capacity, self._width), dtype=np.float64)
+
+    def _ensure(self, rows: int) -> None:
+        capacity = self._p.shape[0]
+        if rows <= capacity:
+            return
+        while capacity < rows:
+            capacity *= 2
+        for name in ("_p", "_g", "_out", "_dec"):
+            old = getattr(self, name)
+            grown = np.empty((capacity, self._width), dtype=old.dtype)
+            grown[: self._rows] = old[: self._rows]
+            setattr(self, name, grown)
+
+    def extend(self, tensor: QuantizedTensor) -> None:
+        """Append plane rows for ``tensor``'s rows beyond those already held."""
+        total = int(tensor.shape[0])
+        start = self._rows
+        if total < start:
+            raise ValueError(
+                f"cached tensor shrank from {start} to {total} rows; plane "
+                "slabs only grow"
+            )
+        if total == start:
+            return
+        self._ensure(total)
+        enc = tensor.encoded
+        rows = slice(start, total)
+
+        def tail(array: np.ndarray) -> np.ndarray:
+            return array.reshape(tensor.shape)[rows]
+
+        out = tail(enc.is_outlier)
+        g = (~out).astype(np.float64)
+        self._out[rows] = out
+        self._g[rows] = g
+        self._p[rows] = (
+            tail(enc.sign).astype(np.float64)
+            * (self._half_bases[tail(enc.gaussian_index)] + self._b)
+            * g
+        )
+        new = EncodedValues(
+            is_outlier=np.ascontiguousarray(out),
+            sign=np.ascontiguousarray(tail(enc.sign)),
+            gaussian_index=np.ascontiguousarray(tail(enc.gaussian_index)),
+            outlier_index=np.ascontiguousarray(tail(enc.outlier_index)),
+        )
+        self._dec[rows] = self._dictionary.decode(new, apply_fixed_point=False).reshape(
+            total - start, self._width
+        )
+        self._rows = total
+
+    def plane_set(self, columns: slice, transpose: bool = False) -> PlaneSet:
+        """A weight-role :class:`PlaneSet` over ``columns`` of every row.
+
+        Contiguous copies of the slab slices (transposed for the K side):
+        the GEMM then consumes arrays byte-identical to the full-rebuild
+        path's, so cached and uncached runs make the same BLAS calls.
+        """
+        rows = self._rows
+
+        def pick(buffer: np.ndarray) -> np.ndarray:
+            matrix = buffer[:rows, columns]
+            return np.ascontiguousarray(matrix.T if transpose else matrix)
+
+        return PlaneSet(
+            p=pick(self._p),
+            g=pick(self._g),
+            out=pick(self._out),
+            role="rhs",
+            fit_key=self.fit_key,
+            dec=pick(self._dec),
+        )
+
+
 class IndexKVCache:
     """Per-layer cache of *encoded* key/value rows for decoder attention.
 
@@ -364,12 +485,24 @@ class IndexKVCache:
     (:func:`_slice_quantized`) inherit it for free.  Appending therefore
     encodes only the new rows — the per-token cache cost the hardware
     would pay.
+
+    With ``incremental_planes`` (the default) the cache also maintains a
+    :class:`_PlaneSlab` per tensor: each append builds the *new rows'*
+    indicator-plane slices once, and :meth:`head_tensors` hands the
+    engine per-head plane sets assembled from the slab — so a decode
+    step never rebuilds planes over the whole cached history.  Bit
+    identical to the rebuild path by construction (elementwise plane
+    building commutes with slicing and concatenation).
     """
 
-    def __init__(self, quantizer: MokeyQuantizer) -> None:
+    def __init__(
+        self, quantizer: MokeyQuantizer, incremental_planes: bool = True
+    ) -> None:
         self.quantizer = quantizer
+        self.incremental_planes = bool(incremental_planes)
         self._keys: Dict[Hashable, QuantizedTensor] = {}
         self._values: Dict[Hashable, QuantizedTensor] = {}
+        self._slabs: Dict[Tuple[Hashable, str], _PlaneSlab] = {}
 
     def __contains__(self, layer: Hashable) -> bool:
         return layer in self._keys
@@ -378,6 +511,19 @@ class IndexKVCache:
         """Rows currently cached for ``layer`` (0 before prefill)."""
         tensor = self._keys.get(layer)
         return 0 if tensor is None else tensor.shape[0]
+
+    def _extend_slabs(self, layer: Hashable) -> None:
+        if not self.incremental_planes:
+            return
+        for kind, tensor in (
+            ("key", self._keys[layer]),
+            ("value", self._values[layer]),
+        ):
+            slab = self._slabs.get((layer, kind))
+            if slab is None:
+                slab = _PlaneSlab(tensor.dictionary, tensor.shape[1])
+                self._slabs[(layer, kind)] = slab
+            slab.extend(tensor)
 
     def prefill(self, layer: Hashable, keys: np.ndarray, values: np.ndarray) -> None:
         """Quantize the prompt's K/V rows, fitting the layer dictionaries."""
@@ -389,6 +535,7 @@ class IndexKVCache:
         self._values[layer] = self.quantizer.quantize(
             np.asarray(values, dtype=np.float64), f"kv.{layer}.value"
         )
+        self._extend_slabs(layer)
 
     def append(self, layer: Hashable, keys: np.ndarray, values: np.ndarray) -> None:
         """Encode new K/V rows with the prefill dictionaries and append."""
@@ -407,10 +554,33 @@ class IndexKVCache:
         )
         self._keys[layer] = _concat_quantized(key_tensor, new_keys)
         self._values[layer] = _concat_quantized(value_tensor, new_values)
+        self._extend_slabs(layer)
 
     def tensors(self, layer: Hashable) -> Tuple[QuantizedTensor, QuantizedTensor]:
         """The cached ``(keys, values)`` quantized ``(tokens, hidden)`` tensors."""
         return self._keys[layer], self._values[layer]
+
+    def head_tensors(
+        self, layer: Hashable, columns: slice
+    ) -> Tuple[QuantizedTensor, QuantizedTensor]:
+        """One head's ``(keyᵀ, value)`` slices, planes attached when slabbed.
+
+        The key slice arrives transposed (``(head_dim, tokens)``), ready
+        to be the score GEMM's right operand; the value slice is
+        ``(tokens, head_dim)`` for the context GEMM.  When incremental
+        planes are on, both carry their slab-assembled plane sets, which
+        the engine picks up instead of rebuilding.
+        """
+        key_slice = _slice_quantized(self._keys[layer], columns, transpose=True)
+        value_slice = _slice_quantized(self._values[layer], columns)
+        if self.incremental_planes:
+            key_slice._plane_sets = {
+                "rhs": self._slabs[(layer, "key")].plane_set(columns, transpose=True)
+            }
+            value_slice._plane_sets = {
+                "rhs": self._slabs[(layer, "value")].plane_set(columns)
+            }
+        return key_slice, value_slice
 
 
 @dataclass
@@ -432,6 +602,11 @@ class DecodeMeasurement:
             (prefill plus every decoded position, final layer) against
             the FP decoder with an FP KV cache, relative to the FP RMS.
         cached_tokens: K/V rows held per layer after the run.
+        outputs: Final-layer index-domain hidden states, prefill rows
+            first then one row per decode step — what the bit-identity
+            property tests compare across cached/uncached runs.
+        plane_cache: Plane-cache counter delta over the run (``None``
+            when caching was disabled).
     """
 
     model: str
@@ -445,6 +620,8 @@ class DecodeMeasurement:
     tokens_per_second: float = 0.0
     output_rms_error: float = 0.0
     cached_tokens: int = 0
+    outputs: Optional[np.ndarray] = None
+    plane_cache: Optional[PlaneCacheStats] = None
 
     @property
     def measured_macs(self) -> int:
@@ -463,16 +640,22 @@ def _decoder_layer_index(
     block: EncoderBlock,
     hidden2d: np.ndarray,
     causal: bool,
+    weight_key: Optional[Hashable] = None,
 ) -> np.ndarray:
     """One decoder layer over ``(tokens, hidden)`` rows, KV from the cache.
 
     ``causal=True`` is the prefill pass (all prompt rows at once, upper
     triangle masked); ``causal=False`` is a decode step (one new row
-    attending to the whole cache).
+    attending to the whole cache).  ``weight_key`` identifies this block
+    in the executor's weight cache (defaults to ``layer``; multi-stream
+    callers pass the bare layer index so streams share weight encodings
+    while keeping per-stream KV keys).
     """
     attn = block.attention
     tokens, hidden = hidden2d.shape
     heads, head_dim = attn.num_heads, attn.head_dim
+    if weight_key is None:
+        weight_key = layer
 
     q, k, v = executor._projection_group(
         measurements,
@@ -482,20 +665,20 @@ def _decoder_layer_index(
             ("attention.value", attn.value),
         ],
         hidden2d,
-        layer,
+        weight_key,
     )
     if layer in cache:
         cache.append(layer, k, v)
     else:
         cache.prefill(layer, k, v)
-    key_tensor, value_tensor = cache.tensors(layer)
-    total = key_tensor.shape[0]
+    total = cache.cached_tokens(layer)
 
     head_slices = [slice(h * head_dim, (h + 1) * head_dim) for h in range(heads)]
+    head_kv = [cache.head_tensors(layer, s) for s in head_slices]
     score_rows = executor._gemm_many_encoded(
         measurements,
         "attention.scores",
-        [(q[:, s], _slice_quantized(key_tensor, s, transpose=True)) for s in head_slices],
+        [(q[:, s], head_kv[h][0]) for h, s in enumerate(head_slices)],
     )
     scores = np.stack(score_rows) / np.sqrt(head_dim)  # (heads, tokens, total)
     if causal:
@@ -507,12 +690,12 @@ def _decoder_layer_index(
     context_rows = executor._gemm_many_encoded(
         measurements,
         "attention.context",
-        [(probs[h], _slice_quantized(value_tensor, s)) for h, s in enumerate(head_slices)],
+        [(probs[h], head_kv[h][1]) for h in range(heads)],
     )
     merged = np.concatenate(context_rows, axis=1)  # (tokens, hidden)
 
     attn_out = executor._projection(
-        measurements, "attention.output", merged, attn.output, layer
+        measurements, "attention.output", merged, attn.output, weight_key
     )
     hidden2d = block.attention_norm(
         (hidden2d + attn_out).astype(np.float32)[None, :, :]
@@ -520,11 +703,11 @@ def _decoder_layer_index(
 
     inter = gelu(
         executor._projection(
-            measurements, "ffn.intermediate", hidden2d, block.ffn.intermediate, layer
+            measurements, "ffn.intermediate", hidden2d, block.ffn.intermediate, weight_key
         )
     )
     ffn_out = executor._projection(
-        measurements, "ffn.output", inter, block.ffn.output, layer
+        measurements, "ffn.output", inter, block.ffn.output, weight_key
     )
     return block.output_norm((hidden2d + ffn_out).astype(np.float32)[None, :, :])[0]
 
@@ -579,6 +762,7 @@ def execute_decoder(
     device: Optional[str] = None,
     seed: int = 0,
     gemm_batching: bool = True,
+    plane_caching: bool = True,
 ) -> DecodeMeasurement:
     """Run a GPT-style decoder with an index-domain KV cache.
 
@@ -602,6 +786,10 @@ def execute_decoder(
         device: Optional device for backends that take one.
         seed: Seed for the block weights and the synthetic inputs.
         gemm_batching: Batch per-head GEMMs into single BLAS calls.
+        plane_caching: Keep weight planes in the process plane cache and
+            grow KV plane slabs incrementally (the hot path).  ``False``
+            runs the uncached oracle — bit-identical outputs and stats,
+            rebuilt planes every step.
     """
     config = _resolve_config(model)
     if prompt_length < 1:
@@ -621,7 +809,7 @@ def execute_decoder(
         cache_weights=True,
         gemm_batching=gemm_batching,
     )
-    cache = IndexKVCache(executor.quantizer)
+    cache = IndexKVCache(executor.quantizer, incremental_planes=plane_caching)
     fp_cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
     measurements: Dict[str, GemmMeasurement] = {}
     rng = np.random.default_rng(seed + 7919)
@@ -629,37 +817,47 @@ def execute_decoder(
     index_outputs: List[np.ndarray] = []
     fp_outputs: List[np.ndarray] = []
 
-    # --- Prefill: the whole prompt, causally masked --------------------- #
-    prompt = rng.normal(0.0, 1.0, size=(prompt_length, config.hidden_size)).astype(
-        np.float32
-    )
-    started = time.perf_counter()
-    states = prompt
-    for layer, block in enumerate(blocks):
-        states = _decoder_layer_index(
-            executor, measurements, cache, layer, block, states, causal=True
+    scope = contextlib.nullcontext() if plane_caching else use_plane_cache(None)
+    with scope:
+        plane_cache = get_plane_cache()
+        cache_before = None if plane_cache is None else plane_cache.stats()
+
+        # --- Prefill: the whole prompt, causally masked ----------------- #
+        prompt = rng.normal(0.0, 1.0, size=(prompt_length, config.hidden_size)).astype(
+            np.float32
         )
-    prefill_seconds = time.perf_counter() - started
-    index_outputs.append(states)
-
-    fp_states = prompt
-    for layer, block in enumerate(blocks):
-        fp_states = _decoder_layer_fp(block, fp_cache, layer, fp_states, causal=True)
-    fp_outputs.append(fp_states)
-
-    # --- Decode: one synthetic input row per step ----------------------- #
-    decode_started = time.perf_counter()
-    fp_pending: List[np.ndarray] = []
-    for _step in range(decode_tokens):
-        row = rng.normal(0.0, 1.0, size=(1, config.hidden_size)).astype(np.float32)
-        states = row
+        started = time.perf_counter()
+        states = prompt
         for layer, block in enumerate(blocks):
             states = _decoder_layer_index(
-                executor, measurements, cache, layer, block, states, causal=False
+                executor, measurements, cache, layer, block, states, causal=True
             )
+        prefill_seconds = time.perf_counter() - started
         index_outputs.append(states)
-        fp_pending.append(row)
-    decode_seconds = time.perf_counter() - decode_started
+
+        fp_states = prompt
+        for layer, block in enumerate(blocks):
+            fp_states = _decoder_layer_fp(block, fp_cache, layer, fp_states, causal=True)
+        fp_outputs.append(fp_states)
+
+        # --- Decode: one synthetic input row per step ------------------- #
+        decode_started = time.perf_counter()
+        fp_pending: List[np.ndarray] = []
+        for _step in range(decode_tokens):
+            row = rng.normal(0.0, 1.0, size=(1, config.hidden_size)).astype(np.float32)
+            states = row
+            for layer, block in enumerate(blocks):
+                states = _decoder_layer_index(
+                    executor, measurements, cache, layer, block, states, causal=False
+                )
+            index_outputs.append(states)
+            fp_pending.append(row)
+        decode_seconds = time.perf_counter() - decode_started
+        cache_delta = (
+            None
+            if cache_before is None
+            else get_plane_cache().stats().minus(cache_before)
+        )
 
     for row in fp_pending:
         fp_states = row
@@ -688,4 +886,315 @@ def execute_decoder(
         tokens_per_second=(decode_tokens / decode_seconds) if decode_seconds else 0.0,
         output_rms_error=rms_error,
         cached_tokens=cache.cached_tokens(0),
+        outputs=index_all,
+        plane_cache=cache_delta,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Multi-stream lockstep decoding (independent GEMMs batched across streams)
+# --------------------------------------------------------------------------- #
+@dataclass
+class MultiStreamDecodeMeasurement:
+    """Measured lockstep decode of several concurrent serving streams.
+
+    Attributes:
+        model: Configuration name the decoder was built from.
+        num_streams: Concurrent streams decoded in lockstep.
+        prompt_length: Prompt tokens per stream at prefill.
+        decode_tokens: Autoregressive steps executed per stream.
+        num_layers: Decoder layers executed.
+        gemms: Per-GEMM measurements merged over prefill and all steps.
+        stats: Operation counts merged over every GEMM.
+        prefill_seconds: Wall time of all prefill passes.
+        decode_seconds: Wall time of the lockstep decode loop.
+        tokens_per_second: Aggregate decode throughput
+            (``num_streams * decode_tokens / decode_seconds``).
+        per_stream_tokens_per_second: Decode throughput of one stream.
+        output_rms_error: Worst per-stream RMS error against each
+            stream's FP oracle.
+        outputs: Per-stream final-layer hidden states (prefill rows
+            first, then one row per step).
+        plane_cache: Plane-cache counter delta over the run.
+    """
+
+    model: str
+    num_streams: int
+    prompt_length: int
+    decode_tokens: int
+    num_layers: int
+    gemms: List[GemmMeasurement] = field(default_factory=list)
+    stats: IndexComputeStats = field(default_factory=IndexComputeStats)
+    prefill_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    tokens_per_second: float = 0.0
+    per_stream_tokens_per_second: float = 0.0
+    output_rms_error: float = 0.0
+    outputs: Optional[List[np.ndarray]] = None
+    plane_cache: Optional[PlaneCacheStats] = None
+
+
+class MultiStreamDecoder:
+    """Decodes several independent streams through one shared model.
+
+    All streams share the blocks, the executor (weight encodings and
+    weight planes are quantized/built once, keyed by layer index alone)
+    and one :class:`IndexKVCache` keyed ``(stream, layer)``.  Decode
+    steps run in *lockstep*: at each step every stream contributes one
+    input row, and each GEMM family is issued as one
+    ``index_domain_matmul_many`` call across streams — the projections
+    share their weight tensor, so S streams collapse to one
+    row-concatenated BLAS call; the per-head score/context GEMMs batch
+    as ``S x heads`` same-shape products.
+
+    Stream ``s`` consumes the inputs ``default_rng(seed + 7919 +
+    104729 * s)`` would feed a solo decoder, so stream 0 reproduces
+    :func:`execute_decoder` with the same seed (values agree to
+    floating-point round-off; GEMM grouping differs).
+    """
+
+    def __init__(
+        self,
+        model: Union[str, TransformerConfig] = GPT_DECODER_CONFIG,
+        num_streams: int = 4,
+        num_layers: Optional[int] = None,
+        quantizer: Optional[MokeyQuantizer] = None,
+        engine: str = "vectorized",
+        device: Optional[str] = None,
+        seed: int = 0,
+        gemm_batching: bool = True,
+        plane_caching: bool = True,
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        self.config = _resolve_config(model)
+        depth = self.config.num_layers if num_layers is None else num_layers
+        depth = min(depth, self.config.num_layers)
+        if depth < 1:
+            raise ValueError(f"num_layers must be >= 1, got {depth}")
+        self.num_layers = depth
+        self.num_streams = int(num_streams)
+        self.seed = seed
+        self.plane_caching = bool(plane_caching)
+        self.blocks = [
+            _build_block(self.config, seed + 10 * layer) for layer in range(depth)
+        ]
+        self.executor = IndexDomainEncoderExecutor(
+            quantizer=quantizer,
+            engine=engine,
+            device=device,
+            cache_weights=True,
+            gemm_batching=gemm_batching,
+        )
+        self.cache = IndexKVCache(
+            self.executor.quantizer, incremental_planes=plane_caching
+        )
+
+    def _decode_step(
+        self,
+        measurements: Dict[str, GemmMeasurement],
+        layer: int,
+        block: EncoderBlock,
+        rows: List[np.ndarray],
+    ) -> List[np.ndarray]:
+        """One decode step of one layer for every stream, GEMMs batched."""
+        executor, cache = self.executor, self.cache
+        attn = block.attention
+        heads, head_dim = attn.num_heads, attn.head_dim
+        streams = range(self.num_streams)
+
+        projected: Dict[str, List[np.ndarray]] = {}
+        for name, linear in (
+            ("attention.query", attn.query),
+            ("attention.key", attn.key),
+            ("attention.value", attn.value),
+        ):
+            wq, w_seconds = executor._quantize_weight(name, linear.weight, layer)
+            outs = executor._gemm_many_encoded(
+                measurements, name, [(rows[s], wq) for s in streams]
+            )
+            measurements[name].quantize_seconds += w_seconds
+            projected[name] = [out + linear.bias for out in outs]
+        qs = projected["attention.query"]
+
+        for s in streams:
+            cache.append((s, layer), projected["attention.key"][s],
+                         projected["attention.value"][s])
+
+        head_slices = [slice(h * head_dim, (h + 1) * head_dim) for h in range(heads)]
+        head_kv = [
+            [cache.head_tensors((s, layer), sl) for sl in head_slices] for s in streams
+        ]
+        score_rows = executor._gemm_many_encoded(
+            measurements,
+            "attention.scores",
+            [
+                (qs[s][:, sl], head_kv[s][h][0])
+                for s in streams
+                for h, sl in enumerate(head_slices)
+            ],
+        )
+        probs: List[np.ndarray] = []
+        for s in streams:
+            scores = np.stack(score_rows[s * heads : (s + 1) * heads]) / np.sqrt(
+                head_dim
+            )
+            probs.append(softmax(scores, axis=-1))
+
+        context_rows = executor._gemm_many_encoded(
+            measurements,
+            "attention.context",
+            [(probs[s][h], head_kv[s][h][1]) for s in streams for h in range(heads)],
+        )
+        merged = [
+            np.concatenate(context_rows[s * heads : (s + 1) * heads], axis=1)
+            for s in streams
+        ]
+
+        def shared_projection(
+            name: str, linear, inputs: List[np.ndarray]
+        ) -> List[np.ndarray]:
+            wq, w_seconds = executor._quantize_weight(name, linear.weight, layer)
+            outs = executor._gemm_many_encoded(
+                measurements, name, [(inputs[s], wq) for s in streams]
+            )
+            measurements[name].quantize_seconds += w_seconds
+            return [out + linear.bias for out in outs]
+
+        attn_out = shared_projection("attention.output", attn.output, merged)
+        hidden = [
+            block.attention_norm((rows[s] + attn_out[s]).astype(np.float32)[None])[0]
+            for s in streams
+        ]
+        inter = [
+            gelu(values)
+            for values in shared_projection(
+                "ffn.intermediate", block.ffn.intermediate, hidden
+            )
+        ]
+        ffn_out = shared_projection("ffn.output", block.ffn.output, inter)
+        return [
+            block.output_norm((hidden[s] + ffn_out[s]).astype(np.float32)[None])[0]
+            for s in streams
+        ]
+
+    def run(
+        self, prompt_length: int = 16, decode_tokens: int = 8
+    ) -> MultiStreamDecodeMeasurement:
+        """Prefill every stream, then decode all of them in lockstep."""
+        if prompt_length < 1:
+            raise ValueError(f"prompt_length must be >= 1, got {prompt_length}")
+        if decode_tokens < 0:
+            raise ValueError(f"decode_tokens must be >= 0, got {decode_tokens}")
+        executor, cache = self.executor, self.cache
+        measurements: Dict[str, GemmMeasurement] = {}
+        rngs = [
+            np.random.default_rng(self.seed + 7919 + 104729 * s)
+            for s in range(self.num_streams)
+        ]
+        streams = range(self.num_streams)
+
+        scope = (
+            contextlib.nullcontext() if self.plane_caching else use_plane_cache(None)
+        )
+        with scope:
+            plane_cache = get_plane_cache()
+            cache_before = None if plane_cache is None else plane_cache.stats()
+
+            prompts = [
+                rngs[s]
+                .normal(0.0, 1.0, size=(prompt_length, self.config.hidden_size))
+                .astype(np.float32)
+                for s in streams
+            ]
+            started = time.perf_counter()
+            index_outputs: List[List[np.ndarray]] = [[] for _ in streams]
+            for s in streams:
+                states = prompts[s]
+                for layer, block in enumerate(self.blocks):
+                    states = _decoder_layer_index(
+                        executor,
+                        measurements,
+                        cache,
+                        (s, layer),
+                        block,
+                        states,
+                        causal=True,
+                        weight_key=layer,
+                    )
+                index_outputs[s].append(states)
+            prefill_seconds = time.perf_counter() - started
+
+            decode_started = time.perf_counter()
+            step_rows: List[List[np.ndarray]] = [[] for _ in streams]
+            for _step in range(decode_tokens):
+                rows = [
+                    rngs[s]
+                    .normal(0.0, 1.0, size=(1, self.config.hidden_size))
+                    .astype(np.float32)
+                    for s in streams
+                ]
+                for s in streams:
+                    step_rows[s].append(rows[s])
+                for layer, block in enumerate(self.blocks):
+                    rows = self._decode_step(measurements, layer, block, rows)
+                for s in streams:
+                    index_outputs[s].append(rows[s])
+            decode_seconds = time.perf_counter() - decode_started
+            cache_delta = (
+                None
+                if cache_before is None
+                else get_plane_cache().stats().minus(cache_before)
+            )
+
+        # FP oracle per stream, identical inputs.
+        worst_rms = 0.0
+        outputs: List[np.ndarray] = []
+        for s in streams:
+            fp_cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
+            fp_outputs = []
+            fp_states = prompts[s]
+            for layer, block in enumerate(self.blocks):
+                fp_states = _decoder_layer_fp(
+                    block, fp_cache, layer, fp_states, causal=True
+                )
+            fp_outputs.append(fp_states)
+            for row in step_rows[s]:
+                fp_states = row
+                for layer, block in enumerate(self.blocks):
+                    fp_states = _decoder_layer_fp(
+                        block, fp_cache, layer, fp_states, causal=False
+                    )
+                fp_outputs.append(fp_states)
+            index_all = np.concatenate(index_outputs[s], axis=0)
+            fp_all = np.concatenate(fp_outputs, axis=0)
+            fp_rms = float(np.sqrt(np.mean(np.square(fp_all)))) or 1.0
+            rms = float(np.sqrt(np.mean(np.square(index_all - fp_all)))) / fp_rms
+            worst_rms = max(worst_rms, rms)
+            outputs.append(index_all)
+
+        gemms = list(measurements.values())
+        stats = IndexComputeStats()
+        for gemm in gemms:
+            stats.merge(gemm.stats)
+        total_decoded = self.num_streams * decode_tokens
+        return MultiStreamDecodeMeasurement(
+            model=self.config.name,
+            num_streams=self.num_streams,
+            prompt_length=prompt_length,
+            decode_tokens=decode_tokens,
+            num_layers=self.num_layers,
+            gemms=gemms,
+            stats=stats,
+            prefill_seconds=prefill_seconds,
+            decode_seconds=decode_seconds,
+            tokens_per_second=(
+                total_decoded / decode_seconds if decode_seconds else 0.0
+            ),
+            per_stream_tokens_per_second=(
+                decode_tokens / decode_seconds if decode_seconds else 0.0
+            ),
+            output_rms_error=worst_rms,
+            outputs=outputs,
+            plane_cache=cache_delta,
+        )

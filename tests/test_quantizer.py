@@ -96,3 +96,69 @@ class TestConfiguration:
         values = rng.normal(0, 1, 1000)
         recon = q.quantize_dequantize(values)
         assert np.abs(recon - values).mean() / np.abs(values).mean() < 0.35
+
+
+class TestFitMemoAndDigest:
+    """The fit memo (ISSUE 9) and the content digest the plane cache keys on."""
+
+    def test_identical_values_hit_the_memo_with_identical_fit(self, golden, rng):
+        q = MokeyQuantizer(golden)
+        values = rng.normal(0, 0.5, 512)
+        first = q.fit_dictionary("w", values)
+        second = q.fit_dictionary("w", values)
+        assert second is first  # the exact same fit object, not a refit
+        assert (q.fit_memo_hits, q.fit_memo_misses) == (1, 1)
+
+    def test_memo_hit_renames_without_refitting(self, golden, rng):
+        q = MokeyQuantizer(golden)
+        values = rng.normal(0, 0.5, 256)
+        first = q.fit_dictionary("first", values)
+        renamed = q.fit_dictionary("second", values)
+        assert renamed.name == "second"
+        assert renamed.mean == first.mean and renamed.std == first.std
+        assert np.array_equal(renamed.gaussian_half, first.gaussian_half)
+        assert q.fit_memo_hits == 1
+
+    def test_memoised_fit_equals_fresh_fit_bitwise(self, golden, rng):
+        values = rng.normal(0, 0.5, 512)
+        memo_q = MokeyQuantizer(golden)
+        fresh_q = MokeyQuantizer(golden, fit_memo=False)
+        memo_q.fit_dictionary("w", values)  # prime
+        via_memo = memo_q.quantize(values, "w")
+        fresh = fresh_q.quantize(values, "w")
+        assert fresh_q.fit_memo_hits == 0
+        for field in ("is_outlier", "sign", "gaussian_index", "outlier_index"):
+            assert np.array_equal(
+                getattr(via_memo.encoded, field), getattr(fresh.encoded, field)
+            )
+        assert via_memo.content_digest() == fresh.content_digest()
+
+    def test_memo_is_lru_bounded(self, golden, rng):
+        q = MokeyQuantizer(golden, fit_memo_entries=2)
+        tensors = [rng.normal(0, 0.5, 128) for _ in range(3)]
+        for values in tensors:
+            q.fit_dictionary("w", values)
+        assert len(q._fit_memo) == 2
+        q.fit_dictionary("w", tensors[0])  # evicted: must refit
+        assert q.fit_memo_misses == 4 and q.fit_memo_hits == 0
+
+    def test_quantizer_pickles_without_the_memo(self, golden, rng):
+        import pickle
+
+        q = MokeyQuantizer(golden)
+        values = rng.normal(0, 0.5, 128)
+        q.fit_dictionary("w", values)
+        clone = pickle.loads(pickle.dumps(q))
+        assert len(clone._fit_memo) == 0
+        # And the clone still works (lock was recreated).
+        clone.fit_dictionary("w", values)
+
+    def test_content_digest_distinguishes_values_and_shape(self, quantizer, rng):
+        values = rng.normal(0, 0.5, (8, 8))
+        base = quantizer.quantize(values, "w")
+        same = quantizer.quantize(values.copy(), "w")
+        other = quantizer.quantize(values + 1e-3, "w")
+        reshaped = quantizer.quantize(values.reshape(4, 16), "w")
+        assert base.content_digest() == same.content_digest()
+        assert base.content_digest() != other.content_digest()
+        assert base.content_digest() != reshaped.content_digest()

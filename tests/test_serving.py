@@ -389,3 +389,67 @@ class TestServingSpec:
         assert "p99_ms" in table and "goodput_rps" in table
         csv_text = format_records(rows, "csv")
         assert csv_text.splitlines()[0].startswith("model,task,sequence_length,scheme")
+
+
+class TestDecodeStreams:
+    """The serving-facing multi-stream software decode entry point."""
+
+    def test_replay_decode_streams_round_trip(self, quantizer):
+        from repro.serving import DecodeStreamsResult, replay_decode_streams
+        from repro.transformer.config import TransformerConfig
+
+        micro = TransformerConfig(
+            name="gpt-micro-serving",
+            num_layers=1,
+            hidden_size=32,
+            num_heads=4,
+            intermediate_size=64,
+            vocab_size=128,
+            max_position_embeddings=64,
+        )
+        result = replay_decode_streams(
+            model=micro,
+            num_streams=2,
+            prompt_length=4,
+            decode_tokens=3,
+            quantizer=quantizer,
+        )
+        assert isinstance(result, DecodeStreamsResult)
+        assert result.num_streams == 2
+        assert result.prompt_length == 4 and result.decode_tokens == 3
+        assert result.tokens_per_second > 0
+        assert result.tokens_per_second == pytest.approx(
+            2 * result.per_stream_tokens_per_second
+        )
+        assert result.output_rms_error < 0.5
+        assert result.plane_cache is not None
+        assert result.plane_cache["attached_hits"] > 0
+        payload = result.to_dict()
+        assert payload["num_streams"] == 2
+        import json
+
+        json.dumps(payload)  # BENCH_PERF-ready: plain JSON types only
+
+    def test_plane_caching_off_reports_no_cache(self, quantizer):
+        from repro.serving import replay_decode_streams
+        from repro.transformer.config import TransformerConfig
+
+        micro = TransformerConfig(
+            name="gpt-micro-serving-off",
+            num_layers=1,
+            hidden_size=32,
+            num_heads=4,
+            intermediate_size=64,
+            vocab_size=128,
+            max_position_embeddings=64,
+        )
+        result = replay_decode_streams(
+            model=micro,
+            num_streams=2,
+            prompt_length=3,
+            decode_tokens=2,
+            quantizer=quantizer,
+            plane_caching=False,
+        )
+        assert result.plane_cache is None
+        assert result.output_rms_error < 0.5

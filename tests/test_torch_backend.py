@@ -120,3 +120,57 @@ class TestTorchFullModelParity:
         assert torch_run.output_rms_error == pytest.approx(
             numpy_run.output_rms_error, rel=1e-6
         )
+
+
+class TestDeviceResidentPlanes:
+    """Cached planes are uploaded to the device once and reused after."""
+
+    def test_upload_once_reuse_after(self, quantizer, rng):
+        from repro.core.index_compute import PlaneCache, use_plane_cache
+
+        aq, wq = _operands(quantizer, rng, 6, 16, 8, "resident")
+        engine = TorchIndexDomainEngine(
+            aq.dictionary, wq.dictionary, device="cpu"
+        )
+        oracle = VectorizedIndexDomainEngine(aq.dictionary, wq.dictionary)
+        cache = PlaneCache(max_bytes=1 << 30)
+        with use_plane_cache(cache):
+            first = engine.matmul(aq, wq)
+            uploads_after_first = cache.stats().device_uploads
+            second = engine.matmul(aq, wq)
+            expected = oracle.matmul(aq, wq)
+        stats = cache.stats()
+        assert uploads_after_first > 0
+        # The second GEMM re-used every tensor the first one uploaded.
+        assert stats.device_uploads == uploads_after_first
+        assert stats.device_reuses >= uploads_after_first
+        # Residency is an execution detail: parity with NumPy holds.
+        assert first.stats == second.stats == expected.stats
+        assert np.allclose(first.values, expected.values, rtol=1e-6, atol=1e-8)
+
+    def test_decoder_with_resident_planes_matches_numpy(self, quantizer):
+        from repro.core.index_compute import PlaneCache, use_plane_cache
+
+        decoder = TransformerConfig(
+            name="gpt-nano-torch-resident",
+            num_layers=1,
+            hidden_size=32,
+            num_heads=4,
+            intermediate_size=64,
+            vocab_size=128,
+            max_position_embeddings=64,
+        )
+        cache = PlaneCache(max_bytes=1 << 30)
+        with use_plane_cache(cache):
+            torch_run = execute_decoder(
+                decoder, prompt_length=4, decode_tokens=3,
+                quantizer=quantizer, engine="torch", device="cpu",
+            )
+            numpy_run = execute_decoder(
+                decoder, prompt_length=4, decode_tokens=3, quantizer=quantizer
+            )
+        assert torch_run.stats == numpy_run.stats
+        assert np.allclose(
+            torch_run.outputs, numpy_run.outputs, rtol=1e-6, atol=1e-6
+        )
+        assert cache.stats().device_reuses > 0
