@@ -17,9 +17,16 @@ so repeated runs only simulate new grid points::
     repro campaign list
     repro campaign clean --yes
     repro store migrate old-store new-store --to-backend sqlite
+    repro store stats .repro-store   # counts/coverage without payloads
     repro serve-sim --schemes mokey-oc fp16 --rate 100 --requests 10000
     repro serve-sim --trace bursty --policy max-batch --max-batch 16 --slo-ms 50
-    repro registry list              # the eight pluggable-axis registries
+    repro serve --port 8321 --workers 4       # campaign service daemon
+    repro submit --spec spec.json --wait      # HTTP submit to the daemon
+    repro status                              # all service jobs
+    repro status campaign-0001                # one job, sharded progress
+    repro results campaign-0001 --output out.ndjson
+    repro cancel campaign-0001
+    repro registry list              # the nine pluggable-axis registries
     repro registry list schemes      # one registry's entries, described
     repro table1                 # the paper's eight Table I fidelity rows
     repro table1 --joint         # fidelity next to speedup/energy (Table IV style)
@@ -76,8 +83,18 @@ from repro.experiments import (
     supported_accuracy_schemes,
     supports_accuracy,
 )
+from repro.experiments import SCHEMA_VERSION
 from repro.registry import RegistryError, get_registry, registry_kinds
 from repro.schemes import available_schemes
+from repro.service import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    Coordinator,
+    ServiceClient,
+    ServiceError,
+    make_server,
+    run_daemon,
+)
 from repro.serving import (
     POLICY_KINDS,
     TRACE_GENERATORS,
@@ -431,6 +448,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="backend of DEST (default: detected from its layout, jsonl if fresh)",
     )
+    stats = store_actions.add_parser(
+        "stats",
+        help="summarise a store without deserializing record payloads",
+        description=(
+            "Report a store directory's backend, schema version, record "
+            "count, fidelity/measured coverage and skipped-line count. "
+            "Counts come from one grouped pushdown query — with SQLite "
+            "they run server-side over indexed columns, no payloads read."
+        ),
+    )
+    stats.add_argument("path", metavar="PATH", help="store directory to summarise")
+    stats.add_argument(
+        "--store-backend",
+        choices=available_store_backends(),
+        default=None,
+        help="backend of PATH (default: detected from its layout)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
 
     registry = commands.add_parser(
         "registry",
@@ -439,7 +479,8 @@ def build_parser() -> argparse.ArgumentParser:
             "The unified registry surface: every pluggable axis of the "
             "campaign grid and the serving simulator (schemes, designs, "
             "models, tasks, engines, store backends, arrival traces, "
-            "batching policies) behind one names/get/describe protocol."
+            "batching policies, service job states) behind one "
+            "names/get/describe protocol."
         ),
     )
     registry_actions = registry.add_subparsers(dest="action", required=True)
@@ -645,6 +686,142 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(serve)
     _add_format_arguments(serve)
+
+    def _add_url_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=None,
+            metavar="URL",
+            help="campaign-service URL (default: $REPRO_SERVICE_URL or "
+            f"http://{DEFAULT_HOST}:{DEFAULT_PORT})",
+        )
+
+    serve_daemon = commands.add_parser(
+        "serve",
+        help="run the campaign service: an HTTP daemon executing submitted "
+        "specs as sharded multi-worker jobs over one shared store",
+        description=(
+            "Start a long-running HTTP daemon (pure stdlib). Submitted "
+            "CampaignSpecs are split into deterministic shards fanned out "
+            "to worker processes, all appending to one shared store; "
+            "content-addressed resume makes workers disposable — kill one "
+            "mid-shard and its replacement resumes from the store, with "
+            "final keys and record digests bit-identical to a "
+            "single-process run. SIGTERM/SIGINT drains the worker pool "
+            "and flushes in-flight shard writes before exiting."
+        ),
+    )
+    serve_daemon.add_argument(
+        "--host", default=DEFAULT_HOST, help=f"bind address (default: {DEFAULT_HOST})"
+    )
+    serve_daemon.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        metavar="PORT",
+        help=f"bind port (default: {DEFAULT_PORT}; 0 picks an ephemeral port)",
+    )
+    serve_daemon.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="default worker processes per campaign job (default: 2; a "
+        "submission's own 'workers' wins)",
+    )
+    serve_daemon.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+    _add_store_argument(serve_daemon)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a campaign/serving spec to a running campaign service",
+        description=(
+            "POST a CampaignSpec or ServingSpec JSON file to the daemon and "
+            "print the job id (the kind is auto-detected from the payload). "
+            "With --wait, block until the job is terminal and exit 0 only "
+            "on completion."
+        ),
+    )
+    submit.add_argument("--spec", required=True, metavar="FILE", help="spec JSON file")
+    submit.add_argument(
+        "--kind",
+        choices=("campaign", "serving"),
+        default=None,
+        help="force the job kind (default: auto-detected from the payload)",
+    )
+    submit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for this job (default: the daemon's --workers)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job is terminal; exit 0 only if it completed",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="--wait deadline in seconds (default: 3600)",
+    )
+    _add_url_argument(submit)
+
+    status = commands.add_parser(
+        "status",
+        help="show campaign-service job progress (all jobs, or one in full)",
+        description=(
+            "Without an id: one summary line per submitted job. With an id: "
+            "the job's full structured status as JSON — state, aggregate "
+            "progress, and per-shard completed/total/restarts/pid."
+        ),
+    )
+    status.add_argument(
+        "id", nargs="?", default=None, metavar="ID", help="job id (default: list all)"
+    )
+    status.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="listing format when no id is given (default: table)",
+    )
+    _add_url_argument(status)
+
+    results = commands.add_parser(
+        "results",
+        help="stream a service job's completed records as NDJSON",
+        description=(
+            "Fetch the job's completed records as newline-delimited JSON in "
+            "deterministic grid order (not store insertion order), each "
+            "line carrying the record's content key and digest. Usable "
+            "mid-run: scenarios not yet persisted are simply absent."
+        ),
+    )
+    results.add_argument("id", metavar="ID", help="job id")
+    results.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the NDJSON lines to FILE instead of stdout",
+    )
+    _add_url_argument(results)
+
+    cancel = commands.add_parser(
+        "cancel",
+        help="cancel a campaign-service job (persisted records remain)",
+        description=(
+            "Ask the job's workers to stop after their in-flight record. "
+            "Everything already persisted stays in the store; resubmitting "
+            "the same spec later resumes from it."
+        ),
+    )
+    cancel.add_argument("id", metavar="ID", help="job id")
+    _add_url_argument(cancel)
 
     return parser
 
@@ -1063,6 +1240,166 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = open_store(args.path, backend=args.store_backend)
+    if not store.path.exists():
+        print(f"error: no {store.backend_name} store at {store.path}", file=sys.stderr)
+        return 2
+    # One grouped pushdown query yields every counter — no record payloads
+    # are deserialized (with SQLite it runs server-side over indexed
+    # columns).
+    rows = store.query(group_by=("model", "design"))
+    total = sum(row["count"] for row in rows)
+    with_fidelity = sum(row["with_fidelity"] for row in rows)
+    with_measured = sum(row["with_measured"] for row in rows)
+    payload = {
+        "store": str(store.root),
+        "backend": store.backend_name,
+        "schema_version": SCHEMA_VERSION,
+        "records": total,
+        "model_design_combos": len(rows),
+        "with_fidelity": with_fidelity,
+        "with_measured": with_measured,
+        "fidelity_coverage": round(with_fidelity / total, 4) if total else 0.0,
+        "measured_coverage": round(with_measured / total, 4) if total else 0.0,
+        "skipped": store.skipped,
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {payload['store']}")
+    print(f"  backend: {payload['backend']} (schema v{payload['schema_version']})")
+    print(
+        f"  records: {total} across {len(rows)} model x design combos"
+    )
+    print(
+        f"  fidelity coverage: {with_fidelity}/{total} "
+        f"({payload['fidelity_coverage']:.0%})"
+    )
+    print(
+        f"  measured coverage: {with_measured}/{total} "
+        f"({payload['measured_coverage']:.0%})"
+    )
+    print(f"  skipped (unreadable/old-schema): {store.skipped}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = args.store or _default_store()
+    # The service defaults to SQLite: it is the backend proven under
+    # concurrent shard writers (WAL mode, immediate-transaction retries).
+    backend = args.store_backend or "sqlite"
+    coordinator = Coordinator(store, store_backend=backend, default_workers=args.workers)
+    try:
+        server = make_server(args.host, args.port, coordinator, quiet=not args.verbose)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"[store={store}, backend={backend}, workers={args.workers}] "
+        f"— SIGTERM/Ctrl-C drains workers and exits",
+        file=sys.stderr,
+        flush=True,
+    )
+    run_daemon(server, coordinator)
+    print("repro service drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _load_spec_dict(path: str) -> Dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read spec {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: spec {path!r} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(payload, dict):
+        print(f"error: spec {path!r} must hold a JSON object", file=sys.stderr)
+        raise SystemExit(2)
+    return payload
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec_dict = _load_spec_dict(args.spec)
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(spec_dict, kind=args.kind, workers=args.workers)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(job_id)
+    if not args.wait:
+        return 0
+    try:
+        final = client.wait(job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = final["progress"]
+    print(
+        f"{job_id}: {final['state']} "
+        f"({progress['completed']}/{progress['total']} scenarios, "
+        f"{final['restarts']} worker restarts)"
+        + (f" — {final['error']}" if final["error"] else ""),
+        file=sys.stderr,
+    )
+    return 0 if final["state"] == "completed" else 1
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        if args.id is not None:
+            print(json.dumps(client.status(args.id), indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+        if args.format == "json":
+            print(json.dumps(jobs, indent=2, sort_keys=True))
+            return 0
+        if not jobs:
+            print("no jobs submitted", file=sys.stderr)
+            return 0
+        for job in jobs:
+            progress = job["progress"]
+            print(
+                f"{job['id']}: {job['state']} "
+                f"{progress['completed']}/{progress['total']} "
+                f"[{job['kind']} {job['name']!r}, workers={job['workers']}, "
+                f"restarts={job['restarts']}]"
+            )
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        lines = [json.dumps(record, sort_keys=True) for record in client.results(args.id)]
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit("\n".join(lines), f"{len(lines)} records from {client.url}", args.output)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        status = client.cancel(args.id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.id}: cancellation requested (state: {status['state']})")
+    return 0
+
+
 def _parse_trace_params(
     parser: argparse.ArgumentParser, texts: Sequence[str]
 ) -> Dict[str, float]:
@@ -1182,12 +1519,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "store":
         if args.action == "migrate":
             return _cmd_store_migrate(args)
+        if args.action == "stats":
+            return _cmd_store_stats(args)
     if args.command == "registry":
         return _cmd_registry_list(args)
     if args.command == "table1":
         return _cmd_table1(parser, args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(parser, args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_service_status(args)
+    if args.command == "results":
+        return _cmd_results(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -119,11 +119,13 @@ from repro.experiments.store import (
     StoreEntry,
     available_store_backends,
     detect_store_backend,
+    entry_digest,
     migrate_store,
     open_store,
     parse_filter,
     register_store_backend,
     scenario_key,
+    store_digest,
 )
 
 # Importing the SQLite backend registers it in STORE_BACKENDS; it must
@@ -137,6 +139,7 @@ from repro.experiments.spec import (
     ExecutionPolicy,
     iter_campaign,
     run_spec,
+    shard_spec,
 )
 
 __all__ = [
@@ -178,15 +181,18 @@ __all__ = [
     "StoreEntry",
     "available_store_backends",
     "detect_store_backend",
+    "entry_digest",
     "migrate_store",
     "open_store",
     "parse_filter",
     "register_store_backend",
     "scenario_key",
+    "store_digest",
     "AxisGrid",
     "CampaignSpec",
     "Enrichments",
     "ExecutionPolicy",
     "iter_campaign",
     "run_spec",
+    "shard_spec",
 ]

@@ -415,6 +415,23 @@ class CampaignProgress:
     def fraction(self) -> float:
         return self.completed / self.total if self.total else 1.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping of the progress counters.
+
+        The structured form the campaign service's workers report over
+        their queue and the HTTP status endpoint serves back, so remote
+        pollers see exactly what a local ``iter_campaign`` consumer sees.
+        """
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "store_key": self.store_key,
+            "fidelity_evaluated": self.fidelity_evaluated,
+            "measured_evaluated": self.measured_evaluated,
+        }
+
     def __str__(self) -> str:
         return (
             f"[{self.completed}/{self.total}] "

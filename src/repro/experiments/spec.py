@@ -67,6 +67,7 @@ __all__ = [
     "CampaignSpec",
     "iter_campaign",
     "run_spec",
+    "shard_spec",
 ]
 
 WorkloadTriple = Tuple[str, str, Optional[int]]
@@ -95,6 +96,13 @@ class AxisGrid:
         buffer_bytes: On-chip buffer capacity axis.
         workloads: Optional explicit workload triples replacing the cross
             product of the first three axes.
+        shard: Optional ``(index, count)`` pair restricting the grid to
+            one deterministic shard: scenario ``k`` of the full expansion
+            belongs to shard ``k % count``.  The ``count`` shards of a
+            grid are pairwise disjoint (positionally), their union is the
+            full grid, and each shard preserves full-grid order — the
+            algebra :func:`shard_spec` (and the campaign service's worker
+            fan-out) is built on.
     """
 
     models: Tuple[str, ...] = ("bert-base",)
@@ -105,6 +113,7 @@ class AxisGrid:
     designs: Tuple[str, ...] = ("mokey",)
     buffer_bytes: Tuple[int, ...] = (512 * KB,)
     workloads: Optional[Tuple[WorkloadTriple, ...]] = None
+    shard: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         # Normalise sequences (JSON lists, generator output) to tuples so
@@ -117,10 +126,18 @@ class AxisGrid:
             object.__setattr__(
                 self, "workloads", tuple(tuple(triple) for triple in self.workloads)
             )
+        if self.shard is not None:
+            object.__setattr__(self, "shard", tuple(self.shard))
 
     def scenarios(self) -> List[Scenario]:
-        """Expand the axes into the full scenario list."""
-        return expand_grid(
+        """Expand the axes into the scenario list (this shard's, if sharded).
+
+        A sharded grid takes every ``count``-th scenario of the full
+        expansion starting at ``index`` — a round-robin slice, so the
+        shards of one grid stay balanced even when the grid's tail axes
+        (e.g. buffer sizes) correlate with simulation cost.
+        """
+        expanded = expand_grid(
             models=self.models,
             tasks=self.tasks,
             sequence_lengths=self.sequence_lengths,
@@ -130,6 +147,10 @@ class AxisGrid:
             buffer_bytes=self.buffer_bytes,
             workloads=self.workloads,
         )
+        if self.shard is None:
+            return expanded
+        index, count = self.shard
+        return expanded[index::count]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -143,6 +164,7 @@ class AxisGrid:
             "workloads": (
                 None if self.workloads is None else [list(t) for t in self.workloads]
             ),
+            "shard": None if self.shard is None else list(self.shard),
         }
 
     @classmethod
@@ -152,6 +174,8 @@ class AxisGrid:
         kwargs = {key: value for key, value in dict(data).items() if key in names}
         if kwargs.get("workloads") is not None:
             kwargs["workloads"] = tuple(tuple(triple) for triple in kwargs["workloads"])
+        if kwargs.get("shard") is not None:
+            kwargs["shard"] = tuple(kwargs["shard"])
         return cls(**kwargs)
 
 
@@ -320,6 +344,23 @@ class CampaignSpec:
             for value in values:
                 if not isinstance(value, int) or value <= 0:
                     raise ValueError(f"{label} must be positive integers, got {value!r}")
+        if axes.shard is not None:
+            shard = axes.shard
+            if (
+                len(shard) != 2
+                or not all(isinstance(part, int) and not isinstance(part, bool)
+                           for part in shard)
+            ):
+                raise ValueError(
+                    f"shard must be an (index, count) pair of integers, got {shard!r}"
+                )
+            index, count = shard
+            if count < 1:
+                raise ValueError(f"shard count must be >= 1, got {count}")
+            if not 0 <= index < count:
+                raise ValueError(
+                    f"shard index must be in [0, {count}), got {index}"
+                )
         if self.execution.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.execution.executor!r} "
@@ -378,6 +419,36 @@ class CampaignSpec:
     def with_enrichments(self, **changes: Any) -> "CampaignSpec":
         """A copy with :class:`Enrichments` fields replaced."""
         return replace(self, enrichments=replace(self.enrichments, **changes))
+
+
+def shard_spec(spec: CampaignSpec, num_shards: int) -> List[CampaignSpec]:
+    """Split ``spec`` into ``num_shards`` deterministic shard specs.
+
+    Shard ``i`` is ``spec`` with ``axes.shard = (i, num_shards)``: its
+    scenario list is every ``num_shards``-th scenario of the full grid
+    starting at ``i``.  The shards are pairwise disjoint (positionally),
+    their concatenation-by-interleaving is exactly the full grid, each
+    preserves full-grid order, and each round-trips through JSON like any
+    other spec — so a fleet of workers each running one shard against one
+    shared store produces precisely the full campaign's store keys and
+    record digests, whatever the interleaving.  Everything else about the
+    spec (enrichments, execution policy, name) is shared verbatim.
+
+    Raises ``ValueError`` for a non-positive ``num_shards`` or a spec
+    that is already a shard (shards of shards would silently drop grid
+    points).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if spec.axes.shard is not None:
+        raise ValueError(
+            f"spec {spec.name!r} is already shard {spec.axes.shard[0]} of "
+            f"{spec.axes.shard[1]}; shard the unsharded spec instead"
+        )
+    return [
+        replace(spec, axes=replace(spec.axes, shard=(index, num_shards)))
+        for index in range(num_shards)
+    ]
 
 
 def _policy_cache(policy: ExecutionPolicy) -> Tuple[ResultCache, Optional[StoreBackend]]:

@@ -111,6 +111,8 @@ from repro.experiments.scenario import Scenario
 __all__ = [
     "SCHEMA_VERSION",
     "scenario_key",
+    "entry_digest",
+    "store_digest",
     "StoreEntry",
     "StoreBackend",
     "ArtifactStore",
@@ -160,6 +162,40 @@ def scenario_key(scenario: Scenario, schema_version: int = SCHEMA_VERSION) -> st
     payload = {"schema_version": schema_version, "scenario": scenario.to_dict()}
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def entry_digest(entry: StoreEntry) -> str:
+    """SHA-256 of one stored record's canonical content.
+
+    Hashes the full self-describing record form (schema version, scenario,
+    result, and whichever joins the entry carries) as canonical JSON, so
+    two entries digest equal iff a reader would rebuild identical values
+    from them — independent of which process wrote them, in what order,
+    or under which backend.
+    """
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": entry.scenario.to_dict(),
+        "result": entry.result.to_dict(),
+    }
+    if entry.fidelity is not None:
+        record["fidelity"] = entry.fidelity.to_dict()
+    if entry.measured is not None:
+        record["measured"] = entry.measured.to_dict()
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def store_digest(store: "StoreBackend") -> Dict[str, str]:
+    """Content identity of a whole store: ``{scenario key: record digest}``.
+
+    Insertion order is deliberately *not* part of the identity: shard
+    workers appending to one shared store interleave nondeterministically,
+    but a multi-worker campaign is bit-identical to a single-process run
+    exactly when this mapping matches — same keys, same record digests.
+    The equality tests and the service's CI smoke compare stores this way.
+    """
+    return {scenario_key(e.scenario): entry_digest(e) for e in store.records()}
 
 
 # --------------------------------------------------------------------------- #
@@ -769,10 +805,31 @@ class ArtifactStore:
                 record["measured"] = measured.to_dict()
             line = json.dumps(record, sort_keys=True, separators=(",", ":"))
             self.root.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            self._append_line(line)
             index[key] = StoreEntry(scenario, result, fidelity, measured)
             return True
+
+    def _append_line(self, line: str) -> None:
+        """Append one record line as a single ``O_APPEND`` write.
+
+        Shared-writer hardening: with ``O_APPEND``, each ``os.write`` is
+        one atomic append on local filesystems, so concurrent appenders
+        from different processes (the campaign service's shard workers on
+        a JSONL store) can interleave whole lines but never splice partial
+        ones — the log stays parseable line-by-line.  Note what this does
+        *not* give: another process's appends only become visible here
+        after :meth:`refresh`, and two processes offered the same missing
+        key may both append it (last line per key wins on load, and shard
+        workers write disjoint keys anyway).  For heavy concurrent
+        writing, the SQLite backend — the service's default — takes real
+        transactions instead.
+        """
+        data = (line + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
 
     def put_many(self, entries: Iterable[StoreEntry]) -> int:
         """Persist many entries (in order); returns how many stored anything."""

@@ -300,6 +300,16 @@ class ServingProgress:
     simulated: int
     from_store: int
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping of the progress counters (service status)."""
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "requests": self.requests,
+            "simulated": self.simulated,
+            "from_store": self.from_store,
+        }
+
     def __str__(self) -> str:
         return (
             f"[{self.completed}/{self.total}] combos, {self.requests} requests replayed, "

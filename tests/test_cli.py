@@ -397,7 +397,7 @@ class TestRegistryList:
         assert code == 0
         for kind in (
             "schemes", "designs", "models", "tasks", "engines",
-            "stores", "traces", "policies",
+            "stores", "traces", "policies", "job-states",
         ):
             assert kind in out
         assert "mokey" in out
@@ -418,7 +418,7 @@ class TestRegistryList:
         payload = json.loads(out)
         assert set(payload) == {
             "schemes", "designs", "models", "tasks", "engines", "stores",
-            "traces", "policies",
+            "traces", "policies", "job-states",
         }
 
     def test_unknown_kind_suggests_nearest(self, capsys):
@@ -692,6 +692,62 @@ class TestStoreBackendsCli:
         code, out, _err = run_cli(["registry", "list", "stores"], capsys)
         assert code == 0
         assert "jsonl" in out and "sqlite" in out
+
+    def test_registry_list_job_states(self, capsys):
+        code, out, _err = run_cli(["registry", "list", "job-states"], capsys)
+        assert code == 0
+        for state in ("pending", "running", "completed", "failed", "cancelled"):
+            assert state in out
+
+
+class TestStoreStats:
+    def _populate(self, tmp_path, capsys, backend="sqlite"):
+        root = tmp_path / "stats-store"
+        code, _out, _err = run_cli(
+            [
+                "campaign", "run", "--store", str(root),
+                "--store-backend", backend,
+                "--batch-sizes", "1", "2", "--designs", "mokey", "tensor-cores",
+            ],
+            capsys,
+        )
+        assert code == 0
+        return str(root)
+
+    def test_stats_reports_counts_and_coverage(self, tmp_path, capsys):
+        root = self._populate(tmp_path, capsys)
+        code, out, _err = run_cli(["store", "stats", root], capsys)
+        assert code == 0
+        assert "backend: sqlite (schema v1)" in out
+        assert "records: 4 across 2 model x design combos" in out
+        assert "fidelity coverage: 0/4" in out
+        assert "skipped (unreadable/old-schema): 0" in out
+
+    def test_stats_json_is_parseable(self, tmp_path, capsys):
+        root = self._populate(tmp_path, capsys, backend="jsonl")
+        code, out, _err = run_cli(["store", "stats", root, "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["backend"] == "jsonl"
+        assert payload["records"] == 4
+        assert payload["schema_version"] == 1
+        assert payload["fidelity_coverage"] == 0.0
+        assert payload["skipped"] == 0
+
+    def test_stats_counts_skipped_lines(self, tmp_path, capsys):
+        root = self._populate(tmp_path, capsys, backend="jsonl")
+        with open(tmp_path / "stats-store" / "records.jsonl", "a", encoding="utf-8") as fh:
+            fh.write("this is not json\n")
+        code, out, _err = run_cli(["store", "stats", root, "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["records"] == 4
+        assert payload["skipped"] == 1
+
+    def test_stats_missing_store_fails_cleanly(self, tmp_path, capsys):
+        code, _out, err = run_cli(["store", "stats", str(tmp_path / "nope")], capsys)
+        assert code == 2
+        assert "no jsonl store at" in err
 
 
 def test_python_dash_m_entry_point(tmp_path):

@@ -1,0 +1,156 @@
+"""Shard algebra: ``AxisGrid.shard`` slicing and ``shard_spec`` derivation.
+
+The campaign service's fan-out correctness reduces to three properties of
+the shard algebra, locked here with hypothesis over random grids and
+shard counts:
+
+1. **partition** — the shards' scenario lists are pairwise disjoint (as
+   index positions) and their union is exactly the full grid;
+2. **order stability** — concatenating the shards round-robin re-reads
+   the full grid in its original order, and each shard preserves the
+   grid's relative order;
+3. **serialization** — a sharded spec JSON-round-trips to equality, so a
+   shard can cross the process boundary (spawn pickling, HTTP) intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import AxisGrid, CampaignSpec, scenario_key, shard_spec
+
+MODELS = ("bert-base", "bert-large")
+TASKS = ("mnli", "squad")
+DESIGNS = ("mokey", "tensor-cores")
+SCHEMES = (None, "fp16", "mokey")
+
+
+def _spec(models, tasks, designs, schemes, batch_sizes, num_buffers):
+    return CampaignSpec(
+        name="shard-prop",
+        axes=AxisGrid(
+            models=tuple(models),
+            tasks=tuple(tasks),
+            designs=tuple(designs),
+            schemes=tuple(schemes),
+            batch_sizes=tuple(batch_sizes),
+            buffer_bytes=tuple(256 * 1024 * (i + 1) for i in range(num_buffers)),
+            sequence_lengths=(32,),
+        ),
+    )
+
+
+grids = st.builds(
+    _spec,
+    st.lists(st.sampled_from(MODELS), min_size=1, max_size=2, unique=True),
+    st.lists(st.sampled_from(TASKS), min_size=1, max_size=2, unique=True),
+    st.lists(st.sampled_from(DESIGNS), min_size=1, max_size=2, unique=True),
+    st.lists(st.sampled_from(SCHEMES), min_size=1, max_size=2, unique=True),
+    st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=2, unique=True),
+    st.integers(min_value=1, max_value=2),
+)
+
+shard_counts = st.integers(min_value=1, max_value=7)
+
+
+class TestShardAlgebra:
+    @given(spec=grids, num_shards=shard_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_shards_partition_the_grid(self, spec, num_shards):
+        full = spec.scenarios()
+        shards = shard_spec(spec, num_shards)
+        assert len(shards) == num_shards
+        pieces = [shard.scenarios() for shard in shards]
+        # Union == full grid, with multiplicity (duplicates in the grid
+        # stay duplicated across the union, never collapsed or doubled).
+        assert sum(len(piece) for piece in pieces) == len(full)
+        interleaved = []
+        for rank, piece in enumerate(pieces):
+            for offset, scenario in enumerate(piece):
+                interleaved.append((offset * num_shards + rank, scenario))
+        reassembled = [scenario for _pos, scenario in sorted(interleaved, key=lambda p: p[0])]
+        assert reassembled == full
+
+    @given(spec=grids, num_shards=shard_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_shards_are_disjoint_index_slices(self, spec, num_shards):
+        full = spec.scenarios()
+        positions = {index: [] for index in range(num_shards)}
+        for shard in shard_spec(spec, num_shards):
+            index, count = shard.axes.shard
+            assert count == num_shards
+            positions[index] = list(range(index, len(full), count))
+        claimed = [pos for piece in positions.values() for pos in piece]
+        assert sorted(claimed) == list(range(len(full)))
+        assert len(set(claimed)) == len(claimed)
+
+    @given(spec=grids, num_shards=shard_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_each_shard_preserves_grid_order(self, spec, num_shards):
+        full = spec.scenarios()
+        for shard in shard_spec(spec, num_shards):
+            index, count = shard.axes.shard
+            assert shard.scenarios() == full[index::count]
+
+    @given(spec=grids, num_shards=shard_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_spec_json_round_trips(self, spec, num_shards):
+        for shard in shard_spec(spec, num_shards):
+            clone = CampaignSpec.from_dict(json.loads(json.dumps(shard.to_dict())))
+            assert clone == shard
+            assert clone.axes.shard == shard.axes.shard
+            assert [scenario_key(s) for s in clone.scenarios()] == [
+                scenario_key(s) for s in shard.scenarios()
+            ]
+
+    @given(spec=grids, num_shards=shard_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_shard_keys_union_equals_full_grid_keys(self, spec, num_shards):
+        full_keys = sorted(scenario_key(s) for s in spec.scenarios())
+        shard_keys = sorted(
+            scenario_key(s)
+            for shard in shard_spec(spec, num_shards)
+            for s in shard.scenarios()
+        )
+        assert shard_keys == full_keys
+
+
+class TestShardValidation:
+    def _tiny(self):
+        return _spec(["bert-base"], ["mnli"], ["mokey"], [None], [1], 1)
+
+    def test_unsharded_spec_has_no_shard_field(self):
+        spec = self._tiny()
+        assert spec.axes.shard is None
+        assert "shard" in spec.axes.to_dict()
+
+    def test_num_shards_below_one_is_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_spec(self._tiny(), 0)
+
+    def test_resharding_a_shard_is_rejected(self):
+        shard = shard_spec(self._tiny(), 2)[1]
+        with pytest.raises(ValueError, match="already shard 1 of 2"):
+            shard_spec(shard, 3)
+
+    @pytest.mark.parametrize(
+        "shard",
+        [(0,), (1, 2, 3), ("0", 2), (0, 0), (-1, 2), (2, 2), (True, 2)],
+    )
+    def test_malformed_shard_fields_fail_validation(self, shard):
+        spec = self._tiny()
+        bad = CampaignSpec.from_dict(
+            {**spec.to_dict(), "axes": {**spec.axes.to_dict(), "shard": list(shard)}}
+        )
+        with pytest.raises(ValueError, match="shard"):
+            bad.validate()
+
+    def test_more_shards_than_scenarios_yields_empty_shards(self):
+        spec = self._tiny()
+        assert len(spec.scenarios()) == 1
+        shards = shard_spec(spec, 3)
+        sizes = [len(shard.scenarios()) for shard in shards]
+        assert sizes == [1, 0, 0]
